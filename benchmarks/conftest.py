@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are deterministic simulations, so repeated
+timing rounds would only re-measure the simulator's own Python speed.
+"""

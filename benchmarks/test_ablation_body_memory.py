@@ -1,0 +1,24 @@
+"""A5: function-body memory footprint (Section V body variation)."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def body_memory_result():
+    return run_experiment("ablation_body_memory")
+
+
+def test_body_memory_reproduction(benchmark, body_memory_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_body_memory"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["visit_growth"] > 2.0
+    assert result.metrics["miss_growth"] > 10.0
+
+
+def test_footprint_drives_visit_cost(body_memory_result):
+    assert body_memory_result.metrics["visit_growth"] > 2.0

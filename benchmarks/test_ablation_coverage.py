@@ -1,0 +1,23 @@
+"""A1 (Section V): code-coverage ablation on the Link build."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def coverage_result():
+    return run_experiment("ablation_coverage")
+
+
+def test_coverage_reproduction(benchmark, coverage_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_coverage"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["visit_full_over_quarter"] > 2.0
+
+
+def test_lazy_cost_tracks_coverage(coverage_result):
+    assert coverage_result.metrics["visit_full_over_quarter"] > 2.0

@@ -1,0 +1,23 @@
+"""A4: SysV hash (2007 toolchains) vs. DT_GNU_HASH (the later fix)."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def hash_style_result():
+    return run_experiment("ablation_hash_style")
+
+
+def test_hash_style_reproduction(benchmark, hash_style_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_hash_style"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["sysv_over_gnu_visit"] > 1.3
+
+
+def test_gnu_hash_collapses_visit_penalty(hash_style_result):
+    assert hash_style_result.metrics["sysv_over_gnu_visit"] > 1.3

@@ -1,0 +1,28 @@
+"""A3 (Section III / Table III): symbol-name-length ablation."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def name_length_result():
+    return run_experiment("ablation_name_length")
+
+
+def test_name_length_reproduction(benchmark, name_length_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_name_length"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["strtab_growth"] > 4.0
+    assert result.metrics["import_growth"] > 1.02
+
+
+def test_names_inflate_string_tables(name_length_result):
+    assert name_length_result.metrics["strtab_growth"] > 4.0
+
+
+def test_names_inflate_import_cost(name_length_result):
+    assert name_length_result.metrics["import_growth"] > 1.02

@@ -1,0 +1,25 @@
+"""A7: prelink(8) — install-time relocation precomputation."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def prelink_result():
+    return run_experiment("ablation_prelink")
+
+
+def test_prelink_reproduction(benchmark, prelink_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_prelink"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["prelink_visit_over_lazy"] < 0.5
+    assert result.metrics["prelink_startup_over_bindnow"] < 1.0
+
+
+def test_prelink_beats_both_paper_strategies(prelink_result):
+    assert prelink_result.metrics["prelink_visit_over_lazy"] < 0.5
+    assert prelink_result.metrics["prelink_startup_over_bindnow"] < 1.0

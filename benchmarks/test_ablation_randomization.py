@@ -1,0 +1,23 @@
+"""A2 (Section II.B.2): address randomization vs. tool startup."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def randomization_result():
+    return run_experiment("ablation_randomization")
+
+
+def test_randomization_reproduction(benchmark, randomization_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation_randomization"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["randomized_over_homogeneous"] > 1.5
+
+
+def test_heterogeneous_link_maps_hurt_tools(randomization_result):
+    assert randomization_result.metrics["randomized_over_homogeneous"] > 1.5

@@ -1,0 +1,40 @@
+"""Section II.B.3: the M x N x (T1 + B x T2) worked example."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def costmodel_result():
+    return run_experiment("costmodel")
+
+
+def test_costmodel_reproduction(benchmark, costmodel_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("costmodel"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    m = result.metrics
+    assert abs(m["minutes_with_reinsertion"] - 83.33) < 0.5
+    assert m["ptrace_event_reinsert_s"] > m["ptrace_event_plain_s"]
+
+
+def test_83_minute_example(costmodel_result):
+    assert costmodel_result.metrics["minutes_with_reinsertion"] == pytest.approx(
+        83.33, abs=0.5
+    )
+
+
+def test_reinsertion_doubles(costmodel_result):
+    without = costmodel_result.metrics["minutes_without_reinsertion"]
+    with_reinsert = costmodel_result.metrics["minutes_with_reinsertion"]
+    assert with_reinsert / without == pytest.approx(2.0, rel=0.01)
+
+
+def test_simulated_ptrace_agrees(costmodel_result):
+    assert (
+        costmodel_result.metrics["ptrace_event_reinsert_s"]
+        > costmodel_result.metrics["ptrace_event_plain_s"]
+    )

@@ -1,0 +1,24 @@
+"""Cold N-task job startup against shared NFS (Sections II, V)."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def job_result():
+    return run_experiment("job_scaling")
+
+
+def test_job_scaling_reproduction(benchmark, job_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("job_scaling"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["import_growth_8_to_256"] > 1.5
+    assert result.metrics["mpi_growth_8_to_256"] > 1.5
+
+
+def test_cold_import_degrades_with_job_size(job_result):
+    assert job_result.metrics["import_growth_8_to_256"] > 1.5

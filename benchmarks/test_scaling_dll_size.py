@@ -1,0 +1,23 @@
+"""S2 (Section V): sensitivity to DLL size (functions per library)."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def size_result():
+    return run_experiment("scaling_dll_size")
+
+
+def test_dll_size_reproduction(benchmark, size_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("scaling_dll_size"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["import_growth"] > 2.0
+
+
+def test_import_cost_grows_with_dll_size(size_result):
+    assert size_result.metrics["import_growth"] > 2.0

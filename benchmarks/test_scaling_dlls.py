@@ -1,0 +1,31 @@
+"""S1 (Section V): the lazy-binding visit penalty vs. DLL count.
+
+The paper measured its 93x visit blow-up at ~495 DLLs; at smaller DLL
+counts the search scopes are shorter and the penalty milder.  This bench
+shows the ratio growing with DLL count — the projection to full scale.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    return run_experiment("scaling_dlls")
+
+
+def test_scaling_reproduction(benchmark, scaling_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("scaling_dlls"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    m = result.metrics
+    assert m["ratio_large"] > m["ratio_small"]
+    assert m["ratio_growth"] > 1.5
+
+
+def test_penalty_grows_with_dll_count(scaling_result):
+    assert scaling_result.metrics["ratio_large"] > scaling_result.metrics["ratio_small"]
+    assert scaling_result.metrics["ratio_growth"] > 1.5

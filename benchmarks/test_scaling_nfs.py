@@ -1,0 +1,25 @@
+"""S3 (Sections II.B.2, V): NFS vs. parallel FS for cold DLL staging."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def nfs_result():
+    return run_experiment("scaling_nfs")
+
+
+def test_nfs_scaling_reproduction(benchmark, nfs_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("scaling_nfs"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["nfs_over_pfs_at_1024"] > 10
+    assert result.metrics["nfs_degradation_16_to_1024"] > 10
+
+
+def test_nfs_collapses_at_scale(nfs_result):
+    assert nfs_result.metrics["nfs_over_pfs_at_1024"] > 10
+    assert nfs_result.metrics["nfs_degradation_16_to_1024"] > 10

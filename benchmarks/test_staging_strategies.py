@@ -1,0 +1,23 @@
+"""Collective DLL opening vs. independent NFS reads (Section II.B.2)."""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def staging_result():
+    return run_experiment("staging_strategies")
+
+
+def test_staging_reproduction(benchmark, staging_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("staging_strategies"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.metrics["independent_over_collective_at_scale"] > 50
+
+
+def test_collective_open_wins_at_scale(staging_result):
+    assert staging_result.metrics["independent_over_collective_at_scale"] > 50

@@ -1,0 +1,57 @@
+"""Table I: startup/import/visit across Vanilla, Link, Link+Bind.
+
+Regenerates the paper's Table I at 1/12 scale and asserts its structure:
+pre-linking speeds imports ~3x, lazy binding slows visits by an order of
+magnitude (growing with DLL count), LD_BIND_NOW moves that cost into
+startup and restores the fast visit.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_experiment("table1")
+
+
+def test_table1_reproduction(benchmark, table1_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    m = result.metrics
+    assert 2.0 <= m["import_speedup_link_over_vanilla"] <= 6.0
+    assert m["visit_slowdown_link_over_vanilla"] >= 8.0
+    assert 0.5 <= m["bindnow_startup_delta_over_link_visit"] <= 2.0
+    assert 0.7 <= m["bindnow_visit_over_vanilla_visit"] <= 1.4
+    assert m["startup_order_ok"] == 1.0
+
+
+def test_import_speedup_matches_paper_shape(table1_result):
+    # Paper: 152.8 / 56.4 = 2.71x.
+    ratio = table1_result.metrics["import_speedup_link_over_vanilla"]
+    assert 2.0 <= ratio <= 6.0
+
+
+def test_visit_slowdown_direction(table1_result):
+    # Paper: 269.4 / 2.9 = 93x at ~495 DLLs; scope is 1/12 here.
+    assert table1_result.metrics["visit_slowdown_link_over_vanilla"] >= 8.0
+
+
+def test_bind_now_startup_absorbs_visit_cost(table1_result):
+    # Paper: (285.6 - 5.7) / 269.4 = 1.04.
+    ratio = table1_result.metrics["bindnow_startup_delta_over_link_visit"]
+    assert 0.5 <= ratio <= 2.0
+
+
+def test_bind_now_restores_fast_visit(table1_result):
+    # Paper: 2.8 / 2.9 = 0.97.
+    ratio = table1_result.metrics["bindnow_visit_over_vanilla_visit"]
+    assert 0.7 <= ratio <= 1.4
+
+
+def test_startup_ordering(table1_result):
+    assert table1_result.metrics["startup_order_ok"] == 1.0

@@ -1,0 +1,38 @@
+"""Table III: section footprint of the Pynamic multiphysics model.
+
+Sizes the paper's exact configuration (280 modules + 215 utilities x 1850
+functions) analytically and checks every row against the published
+Pynamic column.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    return run_experiment("table3")
+
+
+def test_table3_reproduction(benchmark, table3_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3"), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    m = result.metrics
+    for row in ("text", "debug", "symbol_table", "string_table"):
+        assert m[f"rel_err_{row}"] < 0.10
+    assert m["analytic_vs_exact_error"] < 0.05
+
+
+@pytest.mark.parametrize(
+    "row", ["text", "debug", "symbol_table", "string_table"]
+)
+def test_section_rows_match_paper(table3_result, row):
+    assert table3_result.metrics[f"rel_err_{row}"] < 0.10
+
+
+def test_analytic_model_matches_exact_builds(table3_result):
+    assert table3_result.metrics["analytic_vs_exact_error"] < 0.05

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Explore linking/loading strategies and the coverage extension.
+
+Sweeps the decisions the paper studies: lazy vs. eager binding
+(LD_BIND_NOW), and the Section V code-coverage extension — how much of
+the lazy-binding penalty a real application (which never visits 100% of
+its functions) actually pays.
+
+Run:  python examples/linking_strategies.py
+"""
+
+from dataclasses import replace
+
+from repro import PynamicConfig
+from repro.core.builds import BuildMode
+from repro.core.runner import BenchmarkRunner
+from repro.perf.report import render_table
+
+
+def main() -> None:
+    base = PynamicConfig(
+        n_modules=12, n_utilities=9, avg_functions=80, seed=3
+    )
+
+    print("binding strategies (identical generated benchmark):")
+    rows = []
+    for mode in BuildMode:
+        report = BenchmarkRunner(config=base, mode=mode).run().report
+        rows.append(
+            [
+                mode.value,
+                report.startup_s,
+                report.import_s,
+                report.visit_s,
+                report.lazy_fixups,
+                report.eager_plt_resolutions,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "build",
+                "startup(s)",
+                "import(s)",
+                "visit(s)",
+                "lazy fixups",
+                "eager PLT",
+            ],
+            rows,
+        )
+    )
+
+    print()
+    print("coverage extension (Link build): visit only a fraction of functions")
+    rows = []
+    for coverage in (0.25, 0.5, 0.75, 1.0):
+        config = replace(base, coverage=coverage)
+        report = BenchmarkRunner(config=config, mode=BuildMode.LINKED).run().report
+        rows.append(
+            [coverage, report.visit_s, report.lazy_fixups, report.functions_visited]
+        )
+    print(
+        render_table(
+            ["coverage", "visit(s)", "lazy fixups", "functions visited"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "with lazy binding you only pay for what you visit — which is why "
+        "the paper proposes coverage as a first-class Pynamic knob"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Set-associative cache simulation.
+
+This package models the Opteron-style cache hierarchy of the paper's Zeus
+nodes (Section IV): split L1 instruction/data caches backed by a unified L2.
+It is fed with the address trace produced by the simulated dynamic linker,
+pager and function-visit engine, and exposes the miss counters that the
+paper reads through PAPI (Table II).
+"""
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import AccessKind, CacheHierarchy
+
+__all__ = [
+    "AccessKind",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyConfig",
+]

@@ -1,0 +1,62 @@
+"""Cache geometry configuration.
+
+Defaults follow the AMD Opteron (K8) parts in the paper's Zeus cluster:
+64 KiB 2-way L1 instruction and data caches and a 1 MiB 16-way unified L2,
+all with 64-byte lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a single cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ConfigError(f"cache parameters must be positive: {self}")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError(f"line size must be a power of two: {self.line_bytes}")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ConfigError(
+                f"size {self.size_bytes} is not divisible by ways*line "
+                f"({self.ways}*{self.line_bytes})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of the full L1I/L1D/L2 hierarchy."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(64 * KIB, 2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(64 * KIB, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(1 * MIB, 16))
+
+    def __post_init__(self) -> None:
+        lines = {self.l1i.line_bytes, self.l1d.line_bytes, self.l2.line_bytes}
+        if len(lines) != 1:
+            raise ConfigError(f"all levels must share one line size, got {lines}")
+
+    @property
+    def line_bytes(self) -> int:
+        """The common line size of all levels."""
+        return self.l1d.line_bytes
+
+
+def opteron_hierarchy() -> HierarchyConfig:
+    """The default hierarchy modelling a Zeus node's Opteron core."""
+    return HierarchyConfig()

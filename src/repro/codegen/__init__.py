@@ -1,0 +1,16 @@
+"""Code generation: C source emission and size estimation.
+
+Pynamic's observable artifact is generated code: C files for Python
+modules and utility libraries, a driver script, and the resulting ELF
+section footprint (Table III).  This package renders
+:mod:`repro.core.specs` into real C/Python source text
+(:mod:`repro.codegen.emitter`, :mod:`repro.codegen.driver_emitter`),
+writes complete benchmark trees to disk (:mod:`repro.codegen.fileset`),
+and estimates section sizes both exactly and analytically
+(:mod:`repro.codegen.sizes`).
+"""
+
+from repro.codegen.ctypes_ import CType, Signature
+from repro.codegen.sizes import SectionTotals, SizeModel
+
+__all__ = ["CType", "SectionTotals", "Signature", "SizeModel"]

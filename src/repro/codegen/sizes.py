@@ -1,0 +1,192 @@
+"""Section-size estimation — the machinery behind Table III.
+
+The paper sizes its Pynamic model against the real application on five
+section groups: Text, Data, Debug, Symbol Table and String Table.  The
+:class:`SizeModel` maps generated-code structure (instructions, arity,
+call sites, symbol names) to bytes, in two ways:
+
+- **exact**: summed over built :class:`~repro.elf.image.SharedObject`
+  instances (used for everything the simulator runs),
+- **analytic**: closed-form expectations over a
+  :class:`~repro.core.config.PynamicConfig` (used to size the full-scale
+  LLNL preset — 915k functions — without materializing a million specs).
+
+A unit test pins the two within a few percent of each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.elf.sections import SectionKind
+from repro.elf.symbols import HASH_HEADER_BYTES, HASH_SLOT_BYTES, SYMBOL_ENTRY_BYTES
+from repro.errors import ConfigError
+from repro.units import bytes_to_mib
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import PynamicConfig
+    from repro.elf.image import SharedObject
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Bytes-per-construct constants for generated x86-64 code."""
+
+    #: Average encoded bytes per straight-line instruction.
+    text_bytes_per_instruction: float = 3.5
+    #: Function prologue/epilogue bytes.
+    prologue_bytes: int = 16
+    #: Bytes of argument marshalling per parameter.
+    per_argument_bytes: int = 4
+    #: Bytes per call site (mov args + call).
+    per_call_bytes: int = 12
+    #: Function alignment.
+    alignment_bytes: int = 16
+    #: Extra bytes in the Python-callable entry (PyArg parsing etc.).
+    entry_overhead_bytes: int = 120
+    #: Bytes of the module init function.
+    init_bytes: int = 200
+    #: Static data bytes per function (literal pool, strings).
+    data_bytes_per_function: int = 14
+    #: Static data base per library (module object, method table).
+    data_library_base: int = 512
+    #: DWARF bytes per function (calibrated so the LLNL preset's debug
+    #: section lands near the paper's 1100 MB).
+    debug_bytes_per_function: int = 1240
+    #: DWARF per-library base (compile unit headers, line tables).
+    debug_library_base: int = 32768
+    #: Full .symtab/.strtab size relative to .dynsym/.dynstr (locals,
+    #: file symbols, etc. in an unstripped build).
+    symtab_ratio: float = 1.72
+
+    def __post_init__(self) -> None:
+        if self.text_bytes_per_instruction <= 0:
+            raise ConfigError("text_bytes_per_instruction must be positive")
+        if self.symtab_ratio < 1.0:
+            raise ConfigError("symtab_ratio must be >= 1")
+
+    # -- per-construct sizes ------------------------------------------------
+    def function_text_bytes(
+        self, arity: int, body_instructions: int, n_calls: int
+    ) -> int:
+        """Text bytes of one generated function."""
+        raw = (
+            self.prologue_bytes
+            + arity * self.per_argument_bytes
+            + round(body_instructions * self.text_bytes_per_instruction)
+            + n_calls * self.per_call_bytes
+        )
+        align = self.alignment_bytes
+        return (raw + align - 1) // align * align
+
+    def entry_text_bytes(self, n_heads: int) -> int:
+        """Text bytes of a module's Python-callable entry function."""
+        return self.function_text_bytes(0, 0, n_heads) + self.entry_overhead_bytes
+
+    def library_data_bytes(self, n_functions: int) -> int:
+        """Static data bytes of one library."""
+        return self.data_library_base + n_functions * self.data_bytes_per_function
+
+    def library_debug_bytes(self, n_functions: int) -> int:
+        """DWARF bytes of one library."""
+        return self.debug_library_base + n_functions * self.debug_bytes_per_function
+
+
+@dataclass(frozen=True)
+class SectionTotals:
+    """Aggregate section sizes in bytes (Table III rows)."""
+
+    text: int
+    data: int
+    debug: int
+    symtab: int
+    strtab: int
+
+    @property
+    def total(self) -> int:
+        """Sum over the five rows, as in the table's "total" row."""
+        return self.text + self.data + self.debug + self.symtab + self.strtab
+
+    def as_mb(self) -> dict[str, float]:
+        """The table's rows in MB."""
+        return {
+            "Text": bytes_to_mib(self.text),
+            "Data": bytes_to_mib(self.data),
+            "Debug": bytes_to_mib(self.debug),
+            "Symbol Table": bytes_to_mib(self.symtab),
+            "String Table": bytes_to_mib(self.strtab),
+            "total": bytes_to_mib(self.total),
+        }
+
+
+def totals_from_objects(objects: Iterable["SharedObject"]) -> SectionTotals:
+    """Exact Table-III totals over built shared objects."""
+    text = data = debug = symtab = strtab = 0
+    for shared in objects:
+        sections = shared.sections
+        text += sections.size(SectionKind.TEXT)
+        data += sections.size(SectionKind.DATA)
+        debug += sections.size(SectionKind.DEBUG)
+        symtab += sections.size(SectionKind.SYMTAB)
+        strtab += sections.size(SectionKind.STRTAB)
+    return SectionTotals(text=text, data=data, debug=debug, symtab=symtab, strtab=strtab)
+
+
+def analytic_totals(config: "PynamicConfig") -> SectionTotals:
+    """Closed-form Table-III totals for a configuration.
+
+    Uses expectations: the uniform spread around the per-library function
+    count averages out, call-site probabilities contribute fractionally.
+    """
+    model = config.size_model
+    # Average symbol-name bytes (incl. NUL).  name_length==0 means natural
+    # names, which the generator forms as '<lib>_fn_<number>' (~22 chars).
+    name_bytes = (config.name_length if config.name_length else 22) + 1
+
+    def library_bytes(
+        n_functions: float, is_module: bool
+    ) -> tuple[float, float, float, float, float]:
+        chain_fraction = (config.max_depth - 1) / config.max_depth
+        calls_per_function = config.libc_call_probability
+        if is_module:
+            calls_per_function += (
+                chain_fraction
+                + config.utility_call_probability * min(1, config.n_utilities)
+                + (
+                    config.cross_module_probability
+                    if config.enable_cross_module and config.n_modules > 1
+                    else 0.0
+                )
+            )
+        avg_arity = 2.5  # uniform over 0..5
+        func_text = model.function_text_bytes(
+            0, config.avg_body_instructions, 0
+        ) + avg_arity * model.per_argument_bytes + calls_per_function * model.per_call_bytes
+        text = n_functions * func_text
+        n_symbols = n_functions
+        if is_module:
+            n_heads = n_functions / config.max_depth
+            text += model.entry_text_bytes(round(n_heads)) + model.init_bytes
+            n_symbols += 2  # entry + init
+            if config.enable_cross_module:
+                n_symbols += 1
+                text += func_text
+        data = model.library_data_bytes(round(n_functions))
+        debug = model.library_debug_bytes(round(n_functions))
+        dynsym = (n_symbols + 1) * SYMBOL_ENTRY_BYTES
+        dynstr = 1 + n_symbols * name_bytes
+        symtab = dynsym * model.symtab_ratio
+        strtab = dynstr * model.symtab_ratio
+        return text, data, debug, symtab, strtab
+
+    totals = [0.0, 0.0, 0.0, 0.0, 0.0]
+    per_module = library_bytes(config.avg_functions, is_module=True)
+    for i, value in enumerate(per_module):
+        totals[i] += value * config.n_modules
+    if config.n_utilities:
+        per_util = library_bytes(config.utility_functions_average, is_module=False)
+        for i, value in enumerate(per_util):
+            totals[i] += value * config.n_utilities
+    text, data, debug, symtab, strtab = (round(v) for v in totals)
+    return SectionTotals(text=text, data=data, debug=debug, symtab=symtab, strtab=strtab)

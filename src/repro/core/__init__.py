@@ -1,0 +1,46 @@
+"""The paper's primary contribution: the Pynamic benchmark.
+
+- :mod:`repro.core.config` — the user-facing knobs (module/utility counts,
+  average functions per library, call depth, seed, ...),
+- :mod:`repro.core.generator` — the shared-object generator (Section III),
+- :mod:`repro.core.specs` — the intermediate representation of generated
+  modules/utilities/functions,
+- :mod:`repro.core.builds` — the Vanilla / Link / Link+Bind build modes,
+- :mod:`repro.core.driver` — the Pynamic driver (import-all, visit-all,
+  MPI test, startup/import/visit metrics),
+- :mod:`repro.core.runner` — one-call benchmark runs on a simulated node,
+- :mod:`repro.core.presets` — configurations incl. the LLNL multiphysics
+  model from Section IV.
+"""
+
+from repro.core.config import PynamicConfig
+from repro.core.specs import (
+    BenchmarkSpec,
+    FunctionSpec,
+    ModuleSpec,
+    SystemLibSpec,
+    UtilitySpec,
+)
+from repro.core.generator import generate
+from repro.core.builds import BuildImage, BuildMode, build_benchmark
+from repro.core.driver import DriverReport, PynamicDriver
+from repro.core.runner import BenchmarkRunner, RunResult
+from repro.core import presets
+
+__all__ = [
+    "BenchmarkRunner",
+    "BenchmarkSpec",
+    "BuildImage",
+    "BuildMode",
+    "DriverReport",
+    "FunctionSpec",
+    "ModuleSpec",
+    "PynamicConfig",
+    "PynamicDriver",
+    "RunResult",
+    "SystemLibSpec",
+    "UtilitySpec",
+    "build_benchmark",
+    "generate",
+    "presets",
+]

@@ -1,0 +1,134 @@
+"""Pynamic configuration.
+
+Section III: "the user specifies the number of modules to generate as well
+as the average number of functions per module.  The actual number of
+functions will vary based on a random number; a seed value can be
+specified, allowing for reproducible results. ... The user can specify the
+number of utility libraries to generate as well as the average number of
+functions per library. ... When enabled, Pynamic will also generate an
+additional function per module that can be called by other modules."
+
+``coverage`` implements the paper's future-work extension (Section V):
+"Allowing Pynamic to be configured with a specified code coverage".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.codegen.sizes import SizeModel
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PynamicConfig:
+    """All generator knobs, with paper-faithful defaults."""
+
+    #: Number of Python modules to generate.
+    n_modules: int = 40
+    #: Number of pure-C utility libraries.
+    n_utilities: int = 30
+    #: Average number of functions per Python module.
+    avg_functions: int = 150
+    #: Average functions per utility library (None = same as modules).
+    avg_utility_functions: int | None = None
+    #: Uniform spread around the averages (0.2 => +/-20%).
+    functions_spread: float = 0.2
+    #: RNG seed — identical seeds generate identical benchmarks.
+    seed: int = 42
+    #: Call-chain depth: the entry function calls every ``max_depth``-th
+    #: function; each then calls the next until the depth is reached.
+    max_depth: int = 10
+    #: Generate the extra per-module function callable by other modules.
+    enable_cross_module: bool = True
+    #: Probability a module function calls some other module's
+    #: cross-callable function.
+    cross_module_probability: float = 0.02
+    #: Probability a module function calls a random utility function.
+    utility_call_probability: float = 0.35
+    #: Probability a function calls into libc (malloc/printf/...).
+    libc_call_probability: float = 0.05
+    #: Average straight-line instructions in a generated function body.
+    avg_body_instructions: int = 190
+    #: Static data bytes each generated function touches when executed
+    #: (Section V future work: "varying the generated function bodies to
+    #: represent the static and runtime properties of real codes").
+    #: 0 reproduces the paper's compute-only bodies.
+    memory_bytes_per_function: int = 0
+    #: Uniform spread around the body size.
+    body_spread: float = 0.5
+    #: Pad generated symbol names to this length (0 = natural names).
+    #: Long names inflate the string tables the way the LLNL app's C++
+    #: mangled names do (Table III).
+    name_length: int = 64
+    #: Fraction of each module's functions the driver visits (Section V
+    #: future work; 1.0 reproduces the paper's always-100% coverage).
+    coverage: float = 1.0
+    #: Whether the generated driver performs the pyMPI functionality test.
+    mpi_test: bool = True
+    #: Size model used for section-size estimation (Table III).
+    size_model: SizeModel = field(default_factory=SizeModel)
+
+    def __post_init__(self) -> None:
+        if self.n_modules < 1:
+            raise ConfigError("need at least one module")
+        if self.n_utilities < 0:
+            raise ConfigError("utility count must be non-negative")
+        if self.avg_functions < 1:
+            raise ConfigError("avg_functions must be >= 1")
+        if self.avg_utility_functions is not None and self.avg_utility_functions < 1:
+            raise ConfigError("avg_utility_functions must be >= 1")
+        if not 0.0 <= self.functions_spread < 1.0:
+            raise ConfigError("functions_spread must be in [0, 1)")
+        if self.max_depth < 1:
+            raise ConfigError("max_depth must be >= 1")
+        for name in (
+            "cross_module_probability",
+            "utility_call_probability",
+            "libc_call_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.avg_body_instructions < 1:
+            raise ConfigError("avg_body_instructions must be >= 1")
+        if self.memory_bytes_per_function < 0:
+            raise ConfigError("memory_bytes_per_function must be >= 0")
+        if not 0.0 <= self.body_spread < 1.0:
+            raise ConfigError("body_spread must be in [0, 1)")
+        if self.name_length < 0:
+            raise ConfigError("name_length must be non-negative")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ConfigError("coverage must be in (0, 1]")
+
+    @property
+    def utility_functions_average(self) -> int:
+        """Average functions per utility library (defaulting to modules')."""
+        if self.avg_utility_functions is not None:
+            return self.avg_utility_functions
+        return self.avg_functions
+
+    @property
+    def n_libraries(self) -> int:
+        """Total generated DLL count (modules + utilities)."""
+        return self.n_modules + self.n_utilities
+
+    def scaled(self, factor: float) -> "PynamicConfig":
+        """A proportionally smaller/larger configuration.
+
+        Used by the harness to run paper-shaped workloads at laptop scale:
+        counts are scaled, structure (depth, probabilities) is preserved.
+        """
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            n_modules=max(1, round(self.n_modules * factor)),
+            n_utilities=max(0, round(self.n_utilities * factor)),
+            avg_functions=max(1, round(self.avg_functions * factor)),
+            avg_utility_functions=(
+                None
+                if self.avg_utility_functions is None
+                else max(1, round(self.avg_utility_functions * factor))
+            ),
+        )

@@ -1,0 +1,241 @@
+"""The shared-object generator — the heart of Pynamic (Section III).
+
+"The heart of Pynamic is the shared object generator that creates Python
+modules, collections of C functions that can be called from Python. ...
+When configuring Pynamic, the user specifies the number of modules to
+generate as well as the average number of functions per module."
+
+Structure reproduced here:
+
+- per-module function counts vary randomly around the average,
+  reproducibly under a seed;
+- signatures draw 0-5 arguments over the five standard C types;
+- each module has a single Python-callable entry function that visits all
+  of the module's functions: with max depth 10, the entry calls every
+  tenth function, and each function calls the next until the depth is
+  reached ("call chaining typical of Python-based applications");
+- module functions call utility-library functions at random;
+- when enabled, each module gets an additional function callable by other
+  modules, and module functions call other modules' such functions.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.ctypes_ import Signature
+from repro.core.config import PynamicConfig
+from repro.core.specs import (
+    BenchmarkSpec,
+    FunctionSpec,
+    ModuleSpec,
+    UtilitySpec,
+)
+from repro.core.syslibs import LIBC_HOT_FUNCTIONS, default_system_libs
+from repro.rng import SeededRng
+
+
+def _pad_name(base: str, target_length: int) -> str:
+    """Pad a symbol name to ``target_length`` with a deterministic suffix.
+
+    Long names model the mangled C++ identifiers that inflate the real
+    application's string tables (Table III).
+    """
+    if target_length <= len(base):
+        return base
+    filler = "_x"
+    needed = target_length - len(base)
+    repeated = (filler * (needed // len(filler) + 1))[:needed]
+    return base + repeated
+
+
+def _chain_callee_index(index: int, n_functions: int, depth: int) -> int | None:
+    """Index of the function ``index`` calls in the chain, if any.
+
+    Functions are partitioned into chains of ``depth`` consecutive
+    functions; each calls its successor except the last of a chain.
+    """
+    nxt = index + 1
+    if nxt >= n_functions:
+        return None
+    if nxt % depth == 0:
+        return None
+    return nxt
+
+
+def _generate_utility(
+    config: PynamicConfig, rng: SeededRng, ordinal: int
+) -> UtilitySpec:
+    name = f"util_{ordinal:04d}"
+    n_functions = rng.spread_around(
+        config.utility_functions_average, config.functions_spread
+    )
+    model = config.size_model
+    functions = []
+    data_offset = 0
+    for i in range(n_functions):
+        fname = _pad_name(f"{name}_fn_{i:06d}", config.name_length)
+        signature = Signature.random(rng)
+        body = rng.spread_around(config.avg_body_instructions, config.body_spread)
+        libc = (
+            (rng.choice(LIBC_HOT_FUNCTIONS),)
+            if rng.chance(config.libc_call_probability)
+            else ()
+        )
+        touch = (
+            rng.spread_around(config.memory_bytes_per_function, config.body_spread)
+            if config.memory_bytes_per_function
+            else 0
+        )
+        functions.append(
+            FunctionSpec(
+                name=fname,
+                index=i,
+                signature=signature,
+                body_instructions=body,
+                text_bytes=model.function_text_bytes(
+                    signature.arity, body, len(libc)
+                ),
+                libc_calls=libc,
+                data_touch_bytes=touch,
+                data_offset=data_offset,
+            )
+        )
+        data_offset += touch
+    return UtilitySpec(
+        name=name,
+        soname=f"lib{name}.so",
+        path=f"/nfs/pynamic/lib{name}.so",
+        functions=tuple(functions),
+    )
+
+
+def _generate_module(
+    config: PynamicConfig,
+    rng: SeededRng,
+    ordinal: int,
+    utilities: tuple[UtilitySpec, ...],
+    cross_names: dict[str, str],
+) -> ModuleSpec:
+    name = f"module_{ordinal:04d}"
+    n_functions = rng.spread_around(config.avg_functions, config.functions_spread)
+    model = config.size_model
+    other_cross = [
+        (cross, f"lib{module}.so")
+        for module, cross in cross_names.items()
+        if module != name
+    ]
+    functions: list[FunctionSpec] = []
+    names = [
+        _pad_name(f"{name}_fn_{i:06d}", config.name_length)
+        for i in range(n_functions)
+    ]
+    utility_deps: list[str] = []
+    seen_deps: set[str] = set()
+    module_deps: list[str] = []
+    seen_module_deps: set[str] = set()
+    data_offset = 0
+    for i in range(n_functions):
+        signature = Signature.random(rng)
+        body = rng.spread_around(config.avg_body_instructions, config.body_spread)
+        callee_index = _chain_callee_index(i, n_functions, config.max_depth)
+        utility_calls: tuple[str, ...] = ()
+        if utilities and rng.chance(config.utility_call_probability):
+            library = rng.choice(utilities)
+            utility_calls = (rng.choice(library.functions).name,)
+            if library.soname not in seen_deps:
+                seen_deps.add(library.soname)
+                utility_deps.append(library.soname)
+        cross_calls: tuple[str, ...] = ()
+        if other_cross and rng.chance(config.cross_module_probability):
+            cross_symbol, cross_soname = rng.choice(other_cross)
+            cross_calls = (cross_symbol,)
+            if cross_soname not in seen_module_deps:
+                seen_module_deps.add(cross_soname)
+                module_deps.append(cross_soname)
+        libc = (
+            (rng.choice(LIBC_HOT_FUNCTIONS),)
+            if rng.chance(config.libc_call_probability)
+            else ()
+        )
+        n_calls = (
+            (1 if callee_index is not None else 0)
+            + len(utility_calls)
+            + len(cross_calls)
+            + len(libc)
+        )
+        touch = (
+            rng.spread_around(config.memory_bytes_per_function, config.body_spread)
+            if config.memory_bytes_per_function
+            else 0
+        )
+        functions.append(
+            FunctionSpec(
+                name=names[i],
+                index=i,
+                signature=signature,
+                body_instructions=body,
+                text_bytes=model.function_text_bytes(
+                    signature.arity, body, n_calls
+                ),
+                internal_callee=(
+                    names[callee_index] if callee_index is not None else None
+                ),
+                utility_calls=utility_calls,
+                cross_module_calls=cross_calls,
+                libc_calls=libc,
+                data_touch_bytes=touch,
+                data_offset=data_offset,
+            )
+        )
+        data_offset += touch
+    # Coverage (Section V future work): the entry only visits chain heads
+    # within the first `coverage` fraction of the module's functions.
+    n_visible = max(1, round(n_functions * config.coverage))
+    chain_heads = tuple(
+        names[start] for start in range(0, n_visible, config.max_depth)
+    )
+    entry_name = _pad_name(f"entry_{name}", config.name_length)
+    init_name = f"init{name}"
+    return ModuleSpec(
+        name=name,
+        soname=f"lib{name}.so",
+        path=f"/nfs/pynamic/lib{name}.so",
+        functions=tuple(functions),
+        entry_name=entry_name,
+        init_name=init_name,
+        cross_name=cross_names.get(name),
+        utility_deps=tuple(utility_deps),
+        module_deps=tuple(module_deps),
+        chain_heads=chain_heads,
+        entry_text_bytes=model.entry_text_bytes(len(chain_heads)),
+    )
+
+
+def generate(config: PynamicConfig) -> BenchmarkSpec:
+    """Generate a complete benchmark spec from a configuration.
+
+    Deterministic: equal configs (including seed) yield equal specs.
+    """
+    root = SeededRng(config.seed)
+    utilities = tuple(
+        _generate_utility(config, root.fork(f"utility:{u}"), u)
+        for u in range(config.n_utilities)
+    )
+    cross_names: dict[str, str] = {}
+    if config.enable_cross_module:
+        for m in range(config.n_modules):
+            module_name = f"module_{m:04d}"
+            cross_names[module_name] = _pad_name(
+                f"cross_{module_name}", config.name_length
+            )
+    modules = tuple(
+        _generate_module(
+            config, root.fork(f"module:{m}"), m, utilities, cross_names
+        )
+        for m in range(config.n_modules)
+    )
+    return BenchmarkSpec(
+        config=config,
+        modules=modules,
+        utilities=utilities,
+        system_libs=default_system_libs(),
+    )

@@ -1,0 +1,133 @@
+"""Parallel Pynamic jobs: N MPI tasks loading DLLs simultaneously.
+
+Section II stresses that the problem compounds with job size: "larger
+jobs, in terms of node counts, prove particularly difficult", and the
+conclusion asks how "the common practice of loading DLLs from an NFS file
+system" scales to extreme node counts.
+
+The ranks of a Pynamic job are homogeneous by construction (identical
+binaries, identical import sequence — the property Section II.B.2 says
+scalable tools rely on), so the job runner simulates rank 0 in full
+detail while charging the *shared-resource* effects of all N tasks:
+
+- the NFS server sees one reading client per node during cold loading,
+- the MPI functionality test runs at the full task count,
+- per-phase skew is the collectives' log-depth cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builds import BuildMode
+from repro.core.config import PynamicConfig
+from repro.core.driver import DriverReport
+from repro.core.runner import BenchmarkRunner
+from repro.core.specs import BenchmarkSpec
+from repro.errors import ConfigError
+from repro.machine.cluster import Cluster
+from repro.machine.osprofile import OsProfile
+
+
+@dataclass
+class JobReport:
+    """Per-phase times of an N-task Pynamic job (rank-0 perspective)."""
+
+    n_tasks: int
+    n_nodes: int
+    rank0: DriverReport
+    cold: bool
+
+    @property
+    def startup_s(self) -> float:
+        """Job startup (launcher + loader + interpreter)."""
+        return self.rank0.startup_s
+
+    @property
+    def import_s(self) -> float:
+        """Module import time under N-way NFS contention when cold."""
+        return self.rank0.import_s
+
+    @property
+    def visit_s(self) -> float:
+        """Function visit time."""
+        return self.rank0.visit_s
+
+    @property
+    def mpi_s(self) -> float:
+        """MPI functionality test at the full task count."""
+        return self.rank0.mpi_s
+
+    @property
+    def total_s(self) -> float:
+        """Table-I-style total."""
+        return self.rank0.total_s
+
+
+class PynamicJob:
+    """Run the benchmark as an N-task job on a sized cluster."""
+
+    def __init__(
+        self,
+        config: PynamicConfig | None = None,
+        spec: BenchmarkSpec | None = None,
+        mode: BuildMode = BuildMode.VANILLA,
+        n_tasks: int = 1,
+        cores_per_node: int = 8,
+        warm_file_cache: bool = False,
+        os_profile: OsProfile | None = None,
+    ) -> None:
+        if n_tasks < 1:
+            raise ConfigError(f"need at least one task, got {n_tasks}")
+        self.config = config
+        self.spec = spec
+        self.mode = mode
+        self.n_tasks = n_tasks
+        self.cores_per_node = cores_per_node
+        self.warm_file_cache = warm_file_cache
+        self.os_profile = os_profile
+        self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
+
+    def run(self) -> JobReport:
+        """Simulate the job; returns the rank-0 report with shared costs."""
+        cluster = Cluster(n_nodes=self.n_nodes, cores_per_node=self.cores_per_node)
+        # Every node's pager hits the NFS server during cold loading.
+        cluster.nfs.set_concurrency(self.n_nodes)
+        try:
+            runner = BenchmarkRunner(
+                config=self.config,
+                spec=self.spec,
+                mode=self.mode,
+                cluster=cluster,
+                n_tasks=self.n_tasks,
+                warm_file_cache=self.warm_file_cache,
+                os_profile=self.os_profile,
+            )
+            result = runner.run()
+        finally:
+            cluster.nfs.set_concurrency(1)
+        return JobReport(
+            n_tasks=self.n_tasks,
+            n_nodes=self.n_nodes,
+            rank0=result.report,
+            cold=not self.warm_file_cache,
+        )
+
+
+def job_size_sweep(
+    config: PynamicConfig,
+    task_counts: list[int],
+    mode: BuildMode = BuildMode.VANILLA,
+    warm_file_cache: bool = False,
+) -> dict[int, JobReport]:
+    """Cold job runs across task counts (the extreme-scale question)."""
+    reports: dict[int, JobReport] = {}
+    for n_tasks in task_counts:
+        job = PynamicJob(
+            config=config,
+            mode=mode,
+            n_tasks=n_tasks,
+            warm_file_cache=warm_file_cache,
+        )
+        reports[n_tasks] = job.run()
+    return reports

@@ -1,0 +1,139 @@
+"""One-call benchmark runs: machine + build + driver.
+
+The :class:`BenchmarkRunner` wires everything together the way a Pynamic
+invocation on Zeus would: stage the generated DLLs on NFS, (optionally)
+pre-warm the node's disk buffer cache — Table I/II runs were warm-cache;
+Table IV explicitly contrasts cold vs. warm — launch the process, run the
+dynamic loader and the interpreter, then hand control to the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builds import BuildImage, BuildMode, build_benchmark
+from repro.core.config import PynamicConfig
+from repro.core.driver import DriverReport, PynamicDriver
+from repro.core.generator import generate
+from repro.core.specs import BenchmarkSpec
+from repro.elf.symbols import HashStyle
+from repro.errors import ConfigError
+from repro.linker.dynamic import DynamicLinker
+from repro.machine.cluster import Cluster
+from repro.machine.context import ExecutionContext
+from repro.machine.osprofile import OsProfile, linux_chaos
+from repro.mpi.api import MpiSession
+from repro.perf.tracing import EventTrace
+from repro.rng import SeededRng
+
+
+@dataclass
+class RunResult:
+    """Everything one benchmark run produced."""
+
+    mode: BuildMode
+    report: DriverReport
+    build: BuildImage
+    cluster: Cluster
+    linker: DynamicLinker
+
+    @property
+    def total_s(self) -> float:
+        """Table I total (startup + import + visit)."""
+        return self.report.total_s
+
+
+class BenchmarkRunner:
+    """Run one build configuration of a generated benchmark."""
+
+    def __init__(
+        self,
+        config: PynamicConfig | None = None,
+        spec: BenchmarkSpec | None = None,
+        mode: BuildMode = BuildMode.VANILLA,
+        cluster: Cluster | None = None,
+        os_profile: OsProfile | None = None,
+        n_tasks: int = 1,
+        warm_file_cache: bool = True,
+        hash_style: HashStyle = HashStyle.SYSV,
+        prelink: bool = False,
+        trace: "EventTrace | None" = None,
+    ) -> None:
+        if spec is None and config is None:
+            raise ConfigError("provide a config or a pre-generated spec")
+        self.spec = spec if spec is not None else generate(config)  # type: ignore[arg-type]
+        self.mode = mode
+        self.cluster = cluster or Cluster(n_nodes=1)
+        self.os_profile = os_profile or linux_chaos()
+        self.n_tasks = n_tasks
+        self.warm_file_cache = warm_file_cache
+        self.hash_style = hash_style
+        self.prelink = prelink
+        self.trace = trace
+
+    def run(self) -> RunResult:
+        """Build, load and drive the benchmark; returns the results."""
+        cluster = self.cluster
+        build = build_benchmark(
+            self.spec, cluster.nfs, self.mode, hash_style=self.hash_style
+        )
+        for image in build.images.values():
+            cluster.file_store.add(image)
+        node = cluster.nodes[0]
+        if self.warm_file_cache:
+            # Model prior activity (build, previous run) leaving the DLLs
+            # in the node's disk cache; no simulated time elapses.
+            for image in build.images.values():
+                node.buffer_cache.read(image)
+        env = {}
+        if self.mode is BuildMode.LINKED_BIND_NOW:
+            env["LD_BIND_NOW"] = "1"
+        process = node.spawn(
+            profile=self.os_profile,
+            env=env,
+            rng=SeededRng(getattr(self.spec.config, "seed", 0)),
+        )
+        ctx = ExecutionContext(process)
+        # Job launcher (srun) latency, then exec + dynamic loader + the
+        # interpreter boot; the driver's first line runs after that.
+        ctx.stall_seconds(ctx.costs.job_launch_latency_s)
+        linker = DynamicLinker(build.registry, prelink=self.prelink, trace=self.trace)
+        linker.start_program(process, build.executable, ctx)
+        ctx.work(ctx.costs.interpreter_boot_instructions)
+        mpi_session = None
+        if getattr(self.spec.config, "mpi_test", False):
+            mpi_session = MpiSession(cluster=cluster, n_tasks=self.n_tasks)
+        driver = PynamicDriver(
+            build=build,
+            linker=linker,
+            process=process,
+            ctx=ctx,
+            mpi_session=mpi_session,
+        )
+        report = driver.run()
+        return RunResult(
+            mode=self.mode,
+            report=report,
+            build=build,
+            cluster=cluster,
+            linker=linker,
+        )
+
+
+def run_all_modes(
+    config: PynamicConfig,
+    warm_file_cache: bool = True,
+) -> dict[BuildMode, RunResult]:
+    """Run the three Table I build configurations on one generated spec.
+
+    Each mode gets a fresh cluster (fresh caches) but the identical
+    generated benchmark, exactly as the paper compares builds.
+    """
+    spec = generate(config)
+    results: dict[BuildMode, RunResult] = {}
+    for mode in BuildMode:
+        runner = BenchmarkRunner(
+            spec=spec, mode=mode, warm_file_cache=warm_file_cache
+        )
+        results[mode] = runner.run()
+    return results

@@ -1,0 +1,123 @@
+"""System-library stand-ins (libc, libpython, libmpi, ...).
+
+Every real pyMPI process maps a handful of base DSOs before any generated
+code; they anchor the front of every symbol search scope, provide the libc
+and Python C-API symbols the generated modules reference, and appear in
+the paper's link maps.  Symbol counts approximate 2007-era libraries.
+"""
+
+from __future__ import annotations
+
+from repro.core.specs import SystemLibSpec
+
+#: Hot libc functions generated code may call.
+LIBC_HOT_FUNCTIONS: tuple[str, ...] = (
+    "malloc",
+    "free",
+    "printf",
+    "memcpy",
+    "strlen",
+    "strcmp",
+    "snprintf",
+    "qsort",
+)
+
+#: libc data objects modules reference through GOT relocations.
+LIBC_DATA_SYMBOLS: tuple[str, ...] = ("stdout", "stderr", "environ", "errno")
+
+#: Python C-API functions a 2007-era extension module calls.
+PYTHON_API_FUNCTIONS: tuple[str, ...] = (
+    "Py_InitModule4",
+    "PyArg_ParseTuple",
+    "Py_BuildValue",
+    "PyErr_SetString",
+    "PyModule_AddObject",
+)
+
+#: Python C-API data objects modules reference.
+PYTHON_DATA_SYMBOLS: tuple[str, ...] = (
+    "_Py_NoneStruct",
+    "PyExc_RuntimeError",
+    "PyExc_TypeError",
+)
+
+#: MPI entry points pyMPI itself uses.
+MPI_FUNCTIONS: tuple[str, ...] = (
+    "MPI_Init",
+    "MPI_Comm_rank",
+    "MPI_Comm_size",
+    "MPI_Allreduce",
+    "MPI_Bcast",
+    "MPI_Barrier",
+    "MPI_Send",
+    "MPI_Recv",
+    "MPI_Finalize",
+)
+
+
+def _filler(prefix: str, count: int) -> tuple[str, ...]:
+    return tuple(f"{prefix}{i:05d}" for i in range(count))
+
+
+def default_system_libs() -> tuple[SystemLibSpec, ...]:
+    """The base DSO set mapped by every simulated pyMPI process."""
+    return (
+        SystemLibSpec(
+            name="ld-linux",
+            soname="ld-linux-x86-64.so.2",
+            path="/lib64/ld-linux-x86-64.so.2",
+            symbol_names=_filler("_dl_sym_", 40),
+        ),
+        SystemLibSpec(
+            name="libc",
+            soname="libc.so.6",
+            path="/lib64/libc.so.6",
+            symbol_names=(
+                LIBC_HOT_FUNCTIONS
+                + LIBC_DATA_SYMBOLS
+                + _filler("__libc_sym_", 2000)
+            ),
+        ),
+        SystemLibSpec(
+            name="libm",
+            soname="libm.so.6",
+            path="/lib64/libm.so.6",
+            symbol_names=("sin", "cos", "sqrt", "pow") + _filler("__libm_sym_", 400),
+        ),
+        SystemLibSpec(
+            name="libpthread",
+            soname="libpthread.so.0",
+            path="/lib64/libpthread.so.0",
+            symbol_names=("pthread_create", "pthread_join")
+            + _filler("__libpthread_sym_", 200),
+        ),
+        SystemLibSpec(
+            name="libdl",
+            soname="libdl.so.2",
+            path="/lib64/libdl.so.2",
+            symbol_names=("dlopen", "dlsym", "dlclose", "dlerror")
+            + _filler("__libdl_sym_", 16),
+        ),
+        SystemLibSpec(
+            name="libpython",
+            soname="libpython2.5.so.1.0",
+            path="/usr/lib64/libpython2.5.so.1.0",
+            symbol_names=(
+                PYTHON_API_FUNCTIONS
+                + PYTHON_DATA_SYMBOLS
+                + _filler("_Py_sym_", 1500)
+            ),
+        ),
+        SystemLibSpec(
+            name="libmpi",
+            soname="libmpi.so.1",
+            path="/usr/lib64/libmpi.so.1",
+            symbol_names=MPI_FUNCTIONS + _filler("_mpi_sym_", 600),
+        ),
+    )
+
+
+#: Data symbols (everything else in the stand-ins is a function).
+ALL_DATA_SYMBOLS: frozenset[str] = frozenset(LIBC_DATA_SYMBOLS) | frozenset(
+    PYTHON_DATA_SYMBOLS
+)

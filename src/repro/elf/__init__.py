@@ -1,0 +1,32 @@
+"""Simulated ELF-like object format.
+
+The paper's effects all flow through concrete ELF structures: the dynamic
+symbol table and its SysV hash chains (what the resolver walks), the string
+table (what strcmp touches and what Table III sizes), the GOT and PLT
+(what eager vs. lazy binding fills at different times), and the link map
+(what debuggers must mirror).  This package models those structures with
+realistic byte layouts so that address traces — and therefore cache and
+paging behaviour — are faithful in shape.
+"""
+
+from repro.elf.symbols import Symbol, SymbolKind, SymbolTable, StringTable, elf_hash
+from repro.elf.sections import SectionKind, SectionTable
+from repro.elf.relocation import Relocation, RelocationKind
+from repro.elf.image import Executable, SharedObject
+from repro.elf.linkmap import LinkMap, LoadedObject
+
+__all__ = [
+    "Executable",
+    "LinkMap",
+    "LoadedObject",
+    "Relocation",
+    "RelocationKind",
+    "SectionKind",
+    "SectionTable",
+    "SharedObject",
+    "StringTable",
+    "Symbol",
+    "SymbolKind",
+    "SymbolTable",
+    "elf_hash",
+]

@@ -1,0 +1,151 @@
+"""Shared objects and executables (the on-disk side).
+
+A :class:`SharedObject` is everything the generator knows about one DLL:
+its dynamic symbol table, section sizes, dynamic relocations and DT_NEEDED
+dependencies.  :meth:`SharedObject.publish` turns it into a
+:class:`FileImage` on a simulated file system with one extent per section,
+which is what the loader demand-pages and the debugger parses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.relocation import (
+    GOT_SLOT_BYTES,
+    PLT_STUB_BYTES,
+    Relocation,
+    RelocationKind,
+)
+from repro.elf.sections import SectionKind, SectionTable
+from repro.elf.symbols import Symbol, SymbolTable
+from repro.errors import ConfigError, LinkError
+from repro.fs.files import BackingFileSystem, FileImage
+
+
+@dataclass
+class SharedObject:
+    """One DLL: symbols, sections, relocations, dependencies."""
+
+    soname: str
+    path: str
+    symbol_table: SymbolTable = field(default_factory=SymbolTable)
+    sections: SectionTable = field(default_factory=SectionTable)
+    data_relocations: list[Relocation] = field(default_factory=list)
+    plt_relocations: list[Relocation] = field(default_factory=list)
+    #: sonames of DT_NEEDED dependencies, in link order.
+    needed: list[str] = field(default_factory=list)
+    file_image: FileImage | None = None
+    _plt_by_symbol: dict[str, Relocation] = field(default_factory=dict)
+
+    def add_symbol(self, symbol: Symbol) -> int:
+        """Export a defined symbol; returns its dynsym index."""
+        return self.symbol_table.add(symbol)
+
+    def add_data_relocation(self, symbol: str) -> Relocation:
+        """Add an eager GOT (GLOB_DAT) relocation against ``symbol``."""
+        reloc = Relocation(
+            symbol=symbol,
+            kind=RelocationKind.GLOB_DAT,
+            slot=len(self.data_relocations),
+        )
+        self.data_relocations.append(reloc)
+        return reloc
+
+    def add_plt_relocation(self, symbol: str) -> Relocation:
+        """Add a lazily-bindable PLT (JMP_SLOT) relocation against ``symbol``.
+
+        Idempotent per symbol: a DSO has one PLT slot per external function
+        regardless of how many call sites reference it.
+        """
+        existing = self._plt_by_symbol.get(symbol)
+        if existing is not None:
+            return existing
+        reloc = Relocation(
+            symbol=symbol,
+            kind=RelocationKind.JMP_SLOT,
+            slot=len(self.plt_relocations),
+        )
+        self.plt_relocations.append(reloc)
+        self._plt_by_symbol[symbol] = reloc
+        return reloc
+
+    def plt_relocation_for(self, symbol: str) -> Relocation:
+        """The PLT relocation for an external function this DSO calls."""
+        try:
+            return self._plt_by_symbol[symbol]
+        except KeyError:
+            raise LinkError(
+                f"{self.soname} has no PLT slot for {symbol!r}"
+            ) from None
+
+    def calls_externally(self, symbol: str) -> bool:
+        """True if this DSO has a PLT slot for ``symbol``."""
+        return symbol in self._plt_by_symbol
+
+    def finalize_sections(
+        self,
+        text_bytes: int,
+        data_bytes: int,
+        debug_bytes: int,
+        symtab_ratio: float = 1.6,
+    ) -> None:
+        """Fill in the section table from the symbol/relocation contents.
+
+        ``symtab_ratio`` scales the full (debugging) symbol table relative
+        to the dynamic one: the .symtab of an unstripped DSO also carries
+        local symbols, file entries, etc.
+        """
+        if text_bytes < 0 or data_bytes < 0 or debug_bytes < 0:
+            raise ConfigError("section sizes must be non-negative")
+        table = self.symbol_table
+        self.sections.set(SectionKind.TEXT, text_bytes)
+        self.sections.set(SectionKind.DATA, data_bytes)
+        self.sections.set(SectionKind.DEBUG, debug_bytes)
+        self.sections.set(
+            SectionKind.GOT, max(1, len(self.data_relocations)) * GOT_SLOT_BYTES
+        )
+        self.sections.set(
+            SectionKind.PLT, max(1, len(self.plt_relocations)) * PLT_STUB_BYTES
+        )
+        self.sections.set(SectionKind.DYNSYM, table.symtab_bytes)
+        self.sections.set(SectionKind.DYNSTR, table.strtab_bytes)
+        self.sections.set(SectionKind.HASH, table.hash_bytes)
+        self.sections.set(
+            SectionKind.SYMTAB, int(table.symtab_bytes * symtab_ratio)
+        )
+        self.sections.set(
+            SectionKind.STRTAB, int(table.strtab_bytes * symtab_ratio)
+        )
+
+    def publish(self, filesystem: BackingFileSystem) -> FileImage:
+        """Create this object's file image on ``filesystem``."""
+        layout = self.sections.file_layout()
+        image = FileImage(
+            path=self.path,
+            size_bytes=self.sections.file_bytes,
+            filesystem=filesystem,
+        )
+        for kind, (offset, size) in layout.items():
+            image.add_extent(kind.value, offset, size)
+        self.file_image = image
+        return image
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of exported dynamic symbols."""
+        return len(self.symbol_table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedObject({self.soname}, syms={self.n_symbols}, "
+            f"plt={len(self.plt_relocations)}, got={len(self.data_relocations)})"
+        )
+
+
+@dataclass
+class Executable(SharedObject):
+    """The main program image (e.g. the pyMPI interpreter binary)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Executable({self.soname})"

@@ -1,0 +1,49 @@
+"""Relocations: eager data (GLOB_DAT) vs. lazily-bindable PLT (JMP_SLOT).
+
+The entire Table I story is about *when* each relocation kind is
+processed:
+
+- ``GLOB_DAT`` (data/GOT) relocations are always resolved when an object
+  is loaded or dlopened;
+- ``JMP_SLOT`` (PLT) relocations are resolved at load only under
+  ``RTLD_NOW``/``LD_BIND_NOW`` (and glibc does *not* honour RTLD_NOW in a
+  dlopen of an object that was already pre-linked lazily — the paper's key
+  observation), otherwise they are fixed up one by one by the lazy-binding
+  trampoline at first call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class RelocationKind(enum.Enum):
+    """The two dynamic relocation kinds the simulation distinguishes."""
+
+    GLOB_DAT = "R_X86_64_GLOB_DAT"
+    JMP_SLOT = "R_X86_64_JUMP_SLOT"
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """One dynamic relocation against a named symbol."""
+
+    symbol: str
+    kind: RelocationKind
+    #: Slot index within the GOT (GLOB_DAT) or PLT-GOT (JMP_SLOT).
+    slot: int
+
+    def __post_init__(self) -> None:
+        if not self.symbol:
+            raise ConfigError("relocation must name a symbol")
+        if self.slot < 0:
+            raise ConfigError(f"negative relocation slot: {self.slot}")
+
+
+#: Bytes per GOT slot on a 64-bit target.
+GOT_SLOT_BYTES = 8
+#: Bytes per PLT stub on x86-64.
+PLT_STUB_BYTES = 16

@@ -1,0 +1,107 @@
+"""Section kinds and per-object section tables.
+
+Table III of the paper compares five section groups between the real LLNL
+application and its Pynamic model: Text, Data, Debug, Symbol Table and
+String Table.  We model each shared object as a table of sized sections;
+*allocatable* sections get mapped by the loader while debug/symtab/strtab
+stay file-only (read by the debugger, not the process).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class SectionKind(enum.Enum):
+    """The section kinds the simulation distinguishes."""
+
+    TEXT = ".text"
+    DATA = ".data"
+    GOT = ".got"
+    PLT = ".plt"
+    DYNSYM = ".dynsym"
+    DYNSTR = ".dynstr"
+    HASH = ".hash"
+    #: Non-allocatable sections (tool-read only):
+    DEBUG = ".debug"
+    SYMTAB = ".symtab"
+    STRTAB = ".strtab"
+
+
+#: Sections mapped into the process image at load time.
+ALLOC_SECTIONS: tuple[SectionKind, ...] = (
+    SectionKind.TEXT,
+    SectionKind.DATA,
+    SectionKind.GOT,
+    SectionKind.PLT,
+    SectionKind.DYNSYM,
+    SectionKind.DYNSTR,
+    SectionKind.HASH,
+)
+
+#: Sections only tools read (debuggers parse these from the file).
+TOOL_SECTIONS: tuple[SectionKind, ...] = (
+    SectionKind.DEBUG,
+    SectionKind.SYMTAB,
+    SectionKind.STRTAB,
+)
+
+
+@dataclass
+class SectionTable:
+    """Sizes and file offsets of one object's sections."""
+
+    sizes: dict[SectionKind, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for kind, size in self.sizes.items():
+            if size < 0:
+                raise ConfigError(f"negative size for section {kind.value}")
+
+    def set(self, kind: SectionKind, size: int) -> None:
+        """Set a section's size in bytes."""
+        if size < 0:
+            raise ConfigError(f"negative size for section {kind.value}")
+        self.sizes[kind] = size
+
+    def size(self, kind: SectionKind) -> int:
+        """Size of a section (0 if absent)."""
+        return self.sizes.get(kind, 0)
+
+    def file_layout(self) -> dict[SectionKind, tuple[int, int]]:
+        """Assign file offsets in a fixed canonical order.
+
+        Returns ``{kind: (offset, size)}`` for all non-empty sections.
+        Alloc sections come first (as in a real link), tool sections after.
+        """
+        layout: dict[SectionKind, tuple[int, int]] = {}
+        offset = 4096  # ELF header + program headers occupy the first page
+        for kind in (*ALLOC_SECTIONS, *TOOL_SECTIONS):
+            size = self.size(kind)
+            if size == 0:
+                continue
+            layout[kind] = (offset, size)
+            offset += size
+        return layout
+
+    @property
+    def file_bytes(self) -> int:
+        """Total file size implied by the layout."""
+        layout = self.file_layout()
+        if not layout:
+            return 4096
+        last_offset, last_size = max(layout.values(), key=lambda pair: pair[0])
+        return last_offset + last_size
+
+    @property
+    def alloc_bytes(self) -> int:
+        """Bytes the loader maps into the process."""
+        return sum(self.size(kind) for kind in ALLOC_SECTIONS)
+
+    @property
+    def tool_bytes(self) -> int:
+        """Bytes a debugger must read and parse (debug + symtab + strtab)."""
+        return sum(self.size(kind) for kind in TOOL_SECTIONS)

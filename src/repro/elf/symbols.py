@@ -1,0 +1,287 @@
+"""Symbols, string tables and the ELF hash tables (SysV and GNU).
+
+The resolver's cost — the heart of Tables I and II — is a walk over these
+structures: hash the name, index the bucket array, chase the chain,
+compare strings.  We reproduce the classic SysV layout (what 2007-era
+toolchains emitted): a bucket array sized proportionally to the symbol
+count, 24-byte ``Elf64_Sym`` entries, and a NUL-terminated string table.
+
+We also model the ``DT_GNU_HASH`` format that later toolchains adopted
+*specifically because of* workloads like Pynamic's: its Bloom filter
+rejects absent symbols with a single word read, collapsing the
+scope-walk cost that dominates the paper's Link build.  The
+``ablation_hash_style`` experiment quantifies that fix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class HashStyle(enum.Enum):
+    """Which hash section the dynamic linker walks."""
+
+    SYSV = "sysv"
+    GNU = "gnu"
+
+
+def gnu_hash(name: str) -> int:
+    """The DJB-style hash used by DT_GNU_HASH (``dl_new_hash``)."""
+    h = 5381
+    for char in name.encode("utf-8", errors="replace"):
+        h = (h * 33 + char) & 0xFFFFFFFF
+    return h
+
+#: Size of one Elf64_Sym entry in bytes.
+SYMBOL_ENTRY_BYTES = 24
+#: Bytes of hash-table header (nbucket, nchain).
+HASH_HEADER_BYTES = 8
+#: Bytes per bucket / chain slot (Elf32 words, as in the SysV hash).
+HASH_SLOT_BYTES = 4
+
+
+def elf_hash(name: str) -> int:
+    """The classic SysV ELF hash function (matching glibc's `_dl_elf_hash`)."""
+    h = 0
+    for char in name.encode("utf-8", errors="replace"):
+        h = (h << 4) + char
+        g = h & 0xF0000000
+        if g:
+            h ^= g >> 24
+        h &= ~g & 0xFFFFFFFF
+    return h & 0xFFFFFFFF
+
+
+class SymbolKind(enum.Enum):
+    """STT_FUNC vs STT_OBJECT, the two kinds the generator emits."""
+
+    FUNCTION = "function"
+    OBJECT = "object"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One exported (defined) dynamic symbol."""
+
+    name: str
+    kind: SymbolKind
+    #: Offset of the symbol inside its section (text for functions).
+    value: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("symbol name must be non-empty")
+        if self.value < 0 or self.size < 0:
+            raise ConfigError(f"negative value/size for symbol {self.name!r}")
+
+
+class StringTable:
+    """A NUL-terminated string pool (``.dynstr``/``.strtab``)."""
+
+    def __init__(self) -> None:
+        self._offsets: dict[str, int] = {}
+        self._size = 1  # leading NUL, as in real ELF
+
+    def add(self, name: str) -> int:
+        """Intern a string, returning its byte offset."""
+        existing = self._offsets.get(name)
+        if existing is not None:
+            return existing
+        offset = self._size
+        self._offsets[name] = offset
+        self._size += len(name.encode("utf-8", errors="replace")) + 1
+        return offset
+
+    def offset_of(self, name: str) -> int:
+        """Offset of an interned string."""
+        try:
+            return self._offsets[name]
+        except KeyError:
+            raise ConfigError(f"string {name!r} not interned") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total byte size of the pool."""
+        return self._size
+
+
+class SymbolTable:
+    """A dynamic symbol table with its SysV hash index.
+
+    Indexing follows real ELF: symbol 0 is the reserved undefined symbol,
+    so defined symbols occupy indices 1..n.
+    """
+
+    def __init__(
+        self,
+        bucket_ratio: float = 1.0,
+        hash_style: HashStyle = HashStyle.SYSV,
+    ) -> None:
+        if bucket_ratio <= 0:
+            raise ConfigError("bucket_ratio must be positive")
+        self._bucket_ratio = bucket_ratio
+        self.hash_style = hash_style
+        self._symbols: list[Symbol] = []
+        self._by_name: dict[str, int] = {}
+        self.strings = StringTable()
+        self._buckets: dict[int, list[int]] | None = None
+        self._nbuckets = 1
+        self._bloom_bits: set[tuple[int, int]] = set()
+        self._bloom_words = 1
+
+    def _hash(self, name: str) -> int:
+        if self.hash_style is HashStyle.GNU:
+            return gnu_hash(name)
+        return elf_hash(name)
+
+    # -- GNU-hash Bloom filter ---------------------------------------------
+    _BLOOM_SHIFT = 6
+
+    def _bloom_positions(self, name: str) -> tuple[tuple[int, int], tuple[int, int]]:
+        h = gnu_hash(name)
+        word = (h // 64) % self._bloom_words
+        return (word, h % 64), (word, (h >> self._BLOOM_SHIFT) % 64)
+
+    @property
+    def bloom_words(self) -> int:
+        """Number of 64-bit Bloom filter words (GNU hash only)."""
+        if self._buckets is None:
+            self._build_index()
+        return self._bloom_words
+
+    def bloom_maybe_contains(self, name: str) -> bool:
+        """GNU-hash fast path: can this object possibly define ``name``?
+
+        False means definitely absent (one memory word decided it); True
+        means the bucket chain must be walked (rare false positives are
+        part of the real design).
+        """
+        if self.hash_style is not HashStyle.GNU:
+            raise ConfigError("Bloom filter only exists for GNU-hash tables")
+        if self._buckets is None:
+            self._build_index()
+        a, b = self._bloom_positions(name)
+        return a in self._bloom_bits and b in self._bloom_bits
+
+    def bloom_word_offset(self, name: str) -> int:
+        """Byte offset of the Bloom word a lookup reads (GNU hash only)."""
+        if self._buckets is None:
+            self._build_index()
+        (word, _bit), _ = self._bloom_positions(name)
+        return 16 + 8 * word  # 16-byte GNU hash header, 8-byte words
+
+    def add(self, symbol: Symbol) -> int:
+        """Add a defined symbol; returns its table index (1-based)."""
+        if symbol.name in self._by_name:
+            raise ConfigError(f"duplicate symbol {symbol.name!r}")
+        self._symbols.append(symbol)
+        index = len(self._symbols)  # 1-based, slot 0 is STN_UNDEF
+        self._by_name[symbol.name] = index
+        self.strings.add(symbol.name)
+        self._buckets = None  # invalidate the hash index
+        return index
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Symbol | None:
+        """Direct (oracle) lookup by name, bypassing the hash walk."""
+        index = self._by_name.get(name)
+        if index is None:
+            return None
+        return self._symbols[index - 1]
+
+    def at(self, index: int) -> Symbol:
+        """Symbol at a 1-based table index."""
+        if not 1 <= index <= len(self._symbols):
+            raise ConfigError(f"symbol index {index} out of range")
+        return self._symbols[index - 1]
+
+    def symbols(self) -> tuple[Symbol, ...]:
+        """All defined symbols in index order."""
+        return tuple(self._symbols)
+
+    # -- hash geometry ----------------------------------------------------
+    def _build_index(self) -> None:
+        n = max(1, len(self._symbols))
+        self._nbuckets = max(1, int(n * self._bucket_ratio))
+        buckets: dict[int, list[int]] = {}
+        for index, symbol in enumerate(self._symbols, start=1):
+            bucket = self._hash(symbol.name) % self._nbuckets
+            buckets.setdefault(bucket, []).append(index)
+        self._buckets = buckets
+        if self.hash_style is HashStyle.GNU:
+            self._bloom_words = max(1, n // 8)
+            bits: set[tuple[int, int]] = set()
+            for symbol in self._symbols:
+                a, b = self._bloom_positions(symbol.name)
+                bits.add(a)
+                bits.add(b)
+            self._bloom_bits = bits
+
+    @property
+    def nbuckets(self) -> int:
+        """Number of hash buckets."""
+        if self._buckets is None:
+            self._build_index()
+        return self._nbuckets
+
+    def bucket_of(self, name: str) -> int:
+        """The bucket a name hashes into (style-dependent hash)."""
+        return self._hash(name) % self.nbuckets
+
+    def chain(self, bucket: int) -> list[int]:
+        """Symbol indices chained in a bucket (possibly empty)."""
+        if self._buckets is None:
+            self._build_index()
+        assert self._buckets is not None
+        return self._buckets.get(bucket, [])
+
+    # -- byte sizes ---------------------------------------------------------
+    @property
+    def symtab_bytes(self) -> int:
+        """Size of the symbol entry array, including slot 0."""
+        return (len(self._symbols) + 1) * SYMBOL_ENTRY_BYTES
+
+    @property
+    def strtab_bytes(self) -> int:
+        """Size of the associated string table."""
+        return self.strings.size_bytes
+
+    @property
+    def hash_bytes(self) -> int:
+        """Size of the hash section (style-dependent layout)."""
+        nchain = len(self._symbols) + 1
+        if self.hash_style is HashStyle.GNU:
+            return (
+                16  # nbuckets, symoffset, bloom_size, bloom_shift
+                + 8 * self.bloom_words
+                + HASH_SLOT_BYTES * (self.nbuckets + nchain)
+            )
+        return HASH_HEADER_BYTES + HASH_SLOT_BYTES * (self.nbuckets + nchain)
+
+    # -- simulated addresses used by the resolver ---------------------------
+    def bucket_slot_offset(self, bucket: int) -> int:
+        """Byte offset of a bucket slot within the hash section."""
+        if not 0 <= bucket < self.nbuckets:
+            raise ConfigError(f"bucket {bucket} out of range")
+        return HASH_HEADER_BYTES + HASH_SLOT_BYTES * bucket
+
+    def symbol_entry_offset(self, index: int) -> int:
+        """Byte offset of a symbol entry within the dynsym section."""
+        if not 0 <= index <= len(self._symbols):
+            raise ConfigError(f"symbol index {index} out of range")
+        return SYMBOL_ENTRY_BYTES * index

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the Pynamic reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class GenerationError(ReproError):
+    """The shared-object generator could not produce a valid benchmark."""
+
+
+class LinkError(ReproError):
+    """Base class for static/dynamic linking failures."""
+
+
+class UndefinedSymbolError(LinkError):
+    """A symbol lookup failed in every object of the search scope."""
+
+    def __init__(self, name: str, scope_size: int) -> None:
+        super().__init__(
+            f"undefined symbol {name!r} (searched {scope_size} objects)"
+        )
+        self.name = name
+        self.scope_size = scope_size
+
+
+class AlreadyLinkedError(LinkError):
+    """An object was linked twice into the same executable."""
+
+
+class LoaderError(ReproError):
+    """Base class for program-loading failures."""
+
+
+class TextSegmentLimitError(LoaderError):
+    """The OS profile's text-size limit was exceeded (e.g. AIX 32-bit)."""
+
+    def __init__(self, text_bytes: int, limit_bytes: int) -> None:
+        super().__init__(
+            f"text segment of {text_bytes} bytes exceeds the OS limit of "
+            f"{limit_bytes} bytes"
+        )
+        self.text_bytes = text_bytes
+        self.limit_bytes = limit_bytes
+
+
+class PageFaultError(LoaderError):
+    """An access touched an address that is not mapped in the process."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"access to unmapped address {address:#x}")
+        self.address = address
+
+
+class FileSystemError(ReproError):
+    """A simulated file-system operation failed."""
+
+
+class FileNotFoundInStoreError(FileSystemError):
+    """The requested path does not exist in the simulated file store."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"no such file in simulated store: {path!r}")
+        self.path = path
+
+
+class MPIError(ReproError):
+    """A simulated MPI operation was used incorrectly."""
+
+
+class CommunicatorError(MPIError):
+    """An operation referenced an invalid rank or communicator state."""
+
+
+class ToolError(ReproError):
+    """A development-tool simulation failed."""
+
+
+class PtraceError(ToolError):
+    """Illegal use of the simulated process-control interface."""
+
+
+class DriverError(ReproError):
+    """The Pynamic driver was run against an inconsistent process image."""

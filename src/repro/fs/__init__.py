@@ -1,0 +1,28 @@
+"""Simulated storage substrate.
+
+The paper's Table IV behaviour (cold vs. warm TotalView startup) is driven
+by each node's *disk buffer cache* sitting in front of a shared NFS server;
+its future-work section worries about NFS scalability for extreme-scale
+DLL loading.  This package models exactly those pieces:
+
+- :class:`FileImage` / :class:`FileStore` — named byte extents (the DLLs),
+- :class:`NFSServer` — a shared server whose effective bandwidth degrades
+  with the number of concurrently reading clients,
+- :class:`ParallelFileSystem` — a striped, better-scaling alternative,
+- :class:`BufferCache` — a per-node page-granular LRU cache; the first
+  read of a DLL is charged to the backing file system, later reads are
+  satisfied at memory-copy speed (the paper's observed ~2x warm speedup).
+"""
+
+from repro.fs.files import FileImage, FileStore
+from repro.fs.buffercache import BufferCache
+from repro.fs.nfs import NFSServer
+from repro.fs.parallelfs import ParallelFileSystem
+
+__all__ = [
+    "BufferCache",
+    "FileImage",
+    "FileStore",
+    "NFSServer",
+    "ParallelFileSystem",
+]

@@ -1,0 +1,96 @@
+"""File images and the global file store.
+
+A :class:`FileImage` is a named byte extent living on some backing file
+system.  The generator publishes each built shared object as a file image;
+the loader, the dynamic linker's demand pager and the simulated debugger
+all read those images through a node's buffer cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+from repro.errors import FileNotFoundInStoreError, FileSystemError
+
+
+class BackingFileSystem(Protocol):
+    """Anything that can serve raw reads (NFS, parallel FS, local disk)."""
+
+    name: str
+
+    def read_seconds(self, n_bytes: int, n_ops: int = 1) -> float:
+        """Seconds needed to read ``n_bytes`` in ``n_ops`` requests."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class FileImage:
+    """A simulated file: a path, a size and the file system it lives on."""
+
+    path: str
+    size_bytes: int
+    filesystem: BackingFileSystem
+    #: Optional named sub-extents (e.g. ELF sections) as offset/size pairs,
+    #: letting tools read "just the symbol table" of a DLL.
+    extents: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise FileSystemError(f"negative file size for {self.path!r}")
+        for name, (offset, size) in self.extents.items():
+            if offset < 0 or size < 0 or offset + size > self.size_bytes:
+                raise FileSystemError(
+                    f"extent {name!r} ({offset}+{size}) outside file "
+                    f"{self.path!r} of {self.size_bytes} bytes"
+                )
+
+    def add_extent(self, name: str, offset: int, size: int) -> None:
+        """Register a named sub-extent of the file."""
+        if offset < 0 or size < 0 or offset + size > self.size_bytes:
+            raise FileSystemError(
+                f"extent {name!r} ({offset}+{size}) outside file "
+                f"{self.path!r} of {self.size_bytes} bytes"
+            )
+        self.extents[name] = (offset, size)
+
+    def extent(self, name: str) -> tuple[int, int]:
+        """Look up a named extent; raises FileSystemError if missing."""
+        try:
+            return self.extents[name]
+        except KeyError:
+            raise FileSystemError(
+                f"file {self.path!r} has no extent named {name!r}"
+            ) from None
+
+
+class FileStore:
+    """A flat namespace of :class:`FileImage` objects."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileImage] = {}
+
+    def add(self, image: FileImage) -> FileImage:
+        """Register a file image; re-adding the same path overwrites it."""
+        self._files[image.path] = image
+        return image
+
+    def get(self, path: str) -> FileImage:
+        """Fetch a file image by path."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInStoreError(path) from None
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __iter__(self) -> Iterator[FileImage]:
+        return iter(self._files.values())
+
+    def total_bytes(self) -> int:
+        """Sum of all file sizes in the store."""
+        return sum(image.size_bytes for image in self._files.values())

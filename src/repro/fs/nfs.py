@@ -1,0 +1,60 @@
+"""A shared NFS server with client contention.
+
+Section II.B.2 of the paper notes that "an NFS file system could not
+support the level of parallel accesses" required when every node of an
+extreme-scale job demand-loads hundreds of DLLs.  We model the server as a
+fixed-bandwidth pipe with a per-request latency; when ``concurrent_clients``
+nodes read at once, each sees the bandwidth divided among them (up to a
+server-side concurrency cap beyond which requests simply queue).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class NFSServer:
+    """Fixed-capacity NFS server shared by all nodes of the cluster."""
+
+    def __init__(
+        self,
+        name: str = "nfs",
+        bandwidth_bps: float = 25e6,
+        latency_s: float = 0.002,
+        max_concurrency: int = 64,
+    ) -> None:
+        if bandwidth_bps <= 0 or latency_s < 0 or max_concurrency < 1:
+            raise ConfigError("invalid NFS parameters")
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.max_concurrency = max_concurrency
+        self.concurrent_clients = 1
+        self.bytes_served = 0
+        self.requests_served = 0
+
+    def set_concurrency(self, clients: int) -> None:
+        """Declare how many nodes are reading simultaneously."""
+        if clients < 1:
+            raise ConfigError(f"client count must be >= 1, got {clients}")
+        self.concurrent_clients = clients
+
+    def effective_bandwidth_bps(self) -> float:
+        """Per-client bandwidth under the current contention level."""
+        return self.bandwidth_bps / float(self.concurrent_clients)
+
+    def read_seconds(self, n_bytes: int, n_ops: int = 1) -> float:
+        """Seconds for one client to read ``n_bytes`` in ``n_ops`` requests.
+
+        Latency scales with the queue depth once the server's concurrency
+        cap is exceeded (requests wait behind other clients' requests).
+        """
+        if n_bytes < 0 or n_ops < 0:
+            raise ConfigError("read sizes must be non-negative")
+        queue_factor = max(
+            1.0, self.concurrent_clients / float(self.max_concurrency)
+        )
+        self.bytes_served += n_bytes
+        self.requests_served += n_ops
+        transfer = n_bytes / self.effective_bandwidth_bps()
+        return n_ops * self.latency_s * queue_factor + transfer

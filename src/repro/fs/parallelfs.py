@@ -1,0 +1,58 @@
+"""A striped parallel file system (Lustre-like).
+
+The paper contrasts the "common practice of staging the executable onto the
+NFS file system while having input data and output on a parallel file
+system".  The parallel FS scales with clients up to the number of object
+storage targets, making it the natural comparison point in the NFS
+scalability experiment (DESIGN.md S3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ParallelFileSystem:
+    """Aggregate-bandwidth file system striped over ``n_targets`` servers."""
+
+    def __init__(
+        self,
+        name: str = "pfs",
+        aggregate_bandwidth_bps: float = 400e6,
+        latency_s: float = 0.0005,
+        n_targets: int = 16,
+    ) -> None:
+        if aggregate_bandwidth_bps <= 0 or latency_s < 0 or n_targets < 1:
+            raise ConfigError("invalid parallel FS parameters")
+        self.name = name
+        self.aggregate_bandwidth_bps = aggregate_bandwidth_bps
+        self.latency_s = latency_s
+        self.n_targets = n_targets
+        self.concurrent_clients = 1
+        self.bytes_served = 0
+        self.requests_served = 0
+
+    def set_concurrency(self, clients: int) -> None:
+        """Declare how many nodes are reading simultaneously."""
+        if clients < 1:
+            raise ConfigError(f"client count must be >= 1, got {clients}")
+        self.concurrent_clients = clients
+
+    def effective_bandwidth_bps(self) -> float:
+        """Per-client bandwidth: clients share targets, not one pipe.
+
+        Until the client count exceeds the target count every client gets a
+        full stripe's bandwidth; past that, clients share proportionally.
+        """
+        per_target = self.aggregate_bandwidth_bps / self.n_targets
+        if self.concurrent_clients <= self.n_targets:
+            return per_target
+        return self.aggregate_bandwidth_bps / self.concurrent_clients
+
+    def read_seconds(self, n_bytes: int, n_ops: int = 1) -> float:
+        """Seconds for one client to read ``n_bytes`` in ``n_ops`` requests."""
+        if n_bytes < 0 or n_ops < 0:
+            raise ConfigError("read sizes must be non-negative")
+        self.bytes_served += n_bytes
+        self.requests_served += n_ops
+        return n_ops * self.latency_s + n_bytes / self.effective_bandwidth_bps()

@@ -1,0 +1,85 @@
+"""DLL staging strategies for extreme-scale jobs.
+
+Section II.B.2: "an NFS file system could not support the level of
+parallel accesses without OS extensions such as **collective opening of
+DLLs**"; the conclusion proposes using Pynamic to "determine the
+scalability of this current practice".  Three strategies are modelled:
+
+- **independent**: every node reads every DLL from NFS (current practice),
+- **collective**: one node reads each DLL once from NFS, then the set is
+  fanned out over the interconnect with a binomial-tree broadcast (the
+  proposed OS extension),
+- **parallel_fs**: stage the DLLs on a striped parallel file system.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.errors import ConfigError
+from repro.fs.nfs import NFSServer
+from repro.fs.parallelfs import ParallelFileSystem
+from repro.mpi.network import NetworkModel
+
+
+class StagingStrategy(enum.Enum):
+    """How a job's nodes get the DLL set into their page caches."""
+
+    INDEPENDENT = "independent"
+    COLLECTIVE = "collective"
+    PARALLEL_FS = "parallel_fs"
+
+
+def staging_seconds(
+    total_bytes: int,
+    n_files: int,
+    n_nodes: int,
+    strategy: StagingStrategy,
+    nfs: NFSServer | None = None,
+    pfs: ParallelFileSystem | None = None,
+    network: NetworkModel | None = None,
+) -> float:
+    """Seconds until *every* node holds the full DLL set, cold caches."""
+    if total_bytes < 0 or n_files < 1 or n_nodes < 1:
+        raise ConfigError("invalid staging parameters")
+    nfs = nfs or NFSServer()
+    pfs = pfs or ParallelFileSystem()
+    network = network or NetworkModel()
+    if strategy is StagingStrategy.INDEPENDENT:
+        nfs.set_concurrency(n_nodes)
+        try:
+            return nfs.read_seconds(total_bytes, n_ops=n_files)
+        finally:
+            nfs.set_concurrency(1)
+    if strategy is StagingStrategy.COLLECTIVE:
+        nfs.set_concurrency(1)
+        read = nfs.read_seconds(total_bytes, n_ops=n_files)
+        rounds = math.ceil(math.log2(n_nodes)) if n_nodes > 1 else 0
+        fanout = rounds * (
+            network.latency_s * n_files
+            + total_bytes / network.bandwidth_bps
+        )
+        return read + fanout
+    if strategy is StagingStrategy.PARALLEL_FS:
+        pfs.set_concurrency(n_nodes)
+        try:
+            return pfs.read_seconds(total_bytes, n_ops=n_files)
+        finally:
+            pfs.set_concurrency(1)
+    raise ConfigError(f"unknown strategy {strategy!r}")  # pragma: no cover
+
+
+def compare_strategies(
+    total_bytes: int, n_files: int, node_counts: list[int]
+) -> dict[StagingStrategy, dict[int, float]]:
+    """Staging time per strategy per node count (fresh servers each run)."""
+    results: dict[StagingStrategy, dict[int, float]] = {}
+    for strategy in StagingStrategy:
+        per_nodes: dict[int, float] = {}
+        for nodes in node_counts:
+            per_nodes[nodes] = staging_seconds(
+                total_bytes, n_files, nodes, strategy
+            )
+        results[strategy] = per_nodes
+    return results

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``pynamic-repro``.
+
+Examples::
+
+    pynamic-repro list
+    pynamic-repro run table1
+    pynamic-repro run all
+    pynamic-repro generate --modules 8 --utilities 6 --avg-functions 40 \\
+        --out /tmp/pynamic_tree
+    pynamic-repro sizes --modules 280 --utilities 215 --avg-functions 1850 \\
+        --name-length 236
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import all_experiment_names, run_experiment
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--modules", type=int, default=8, help="Python modules")
+    parser.add_argument("--utilities", type=int, default=6, help="utility libraries")
+    parser.add_argument(
+        "--avg-functions", type=int, default=40, help="average functions per library"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="generator seed")
+    parser.add_argument(
+        "--name-length", type=int, default=0, help="pad symbol names to this length"
+    )
+    parser.add_argument(
+        "--depth", type=int, default=10, help="call-chain depth (paper default 10)"
+    )
+    parser.add_argument(
+        "--coverage",
+        type=float,
+        default=1.0,
+        help="fraction of functions the driver visits",
+    )
+
+
+def _config_from_args(args: argparse.Namespace):
+    from repro.core.config import PynamicConfig
+
+    return PynamicConfig(
+        n_modules=args.modules,
+        n_utilities=args.utilities,
+        avg_functions=args.avg_functions,
+        seed=args.seed,
+        name_length=args.name_length,
+        max_depth=args.depth,
+        coverage=args.coverage,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="pynamic-repro",
+        description=(
+            "Reproduce the tables of 'Pynamic: the Python Dynamic "
+            "Benchmark' (IISWC 2007) on a simulated cluster."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment name or 'all'")
+    generate_parser = sub.add_parser(
+        "generate", help="emit a benchmark source tree (C files + driver)"
+    )
+    _add_config_arguments(generate_parser)
+    generate_parser.add_argument(
+        "--out", required=True, help="output directory for the source tree"
+    )
+    sizes_parser = sub.add_parser(
+        "sizes", help="print the Table-III section sizes for a configuration"
+    )
+    _add_config_arguments(sizes_parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in all_experiment_names():
+            print(name)
+        return 0
+    if args.command == "run":
+        names = (
+            all_experiment_names()
+            if args.experiment == "all"
+            else [args.experiment]
+        )
+        for name in names:
+            result = run_experiment(name)
+            print(result.render())
+            print()
+        return 0
+    if args.command == "generate":
+        from repro.codegen.fileset import write_benchmark_tree
+        from repro.core.generator import generate
+
+        spec = generate(_config_from_args(args))
+        written = write_benchmark_tree(spec, args.out)
+        print(
+            f"wrote {len(written)} files ({spec.total_functions} functions "
+            f"across {spec.n_generated_libraries} libraries) to {args.out}"
+        )
+        return 0
+    if args.command == "sizes":
+        from repro.codegen.sizes import analytic_totals
+        from repro.perf.report import render_table
+
+        totals = analytic_totals(_config_from_args(args)).as_mb()
+        print(
+            render_table(
+                ["section", "MB"],
+                [[section, value] for section, value in totals.items()],
+                title="analytic section sizes (Table III method)",
+            )
+        )
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Experiment plumbing: results, registry, lookup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.perf.report import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    name: str
+    paper_reference: str
+    tables: list[tuple[str, Sequence[str], Sequence[Sequence[object]]]] = field(
+        default_factory=list
+    )
+    notes: list[str] = field(default_factory=list)
+    #: Raw numbers for benchmark assertions (ratios, orderings).
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def add_table(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[object]],
+    ) -> None:
+        """Attach a rendered table to the result."""
+        self.tables.append((title, headers, rows))
+
+    def render(self) -> str:
+        """Human-readable report."""
+        parts = [f"== {self.name} ({self.paper_reference}) =="]
+        for title, headers, rows in self.tables:
+            parts.append(render_table(headers, rows, title=title))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+#: name -> zero-argument callable producing an ExperimentResult.
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(name: str) -> Callable[[Callable[[], ExperimentResult]], Callable[[], ExperimentResult]]:
+    """Decorator registering an experiment under ``name``."""
+
+    def wrap(func: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        if name in REGISTRY:
+            raise ConfigError(f"experiment {name!r} registered twice")
+        REGISTRY[name] = func
+        return func
+
+    return wrap
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run a registered experiment by name."""
+    # Import the experiment modules lazily so registration happens on use.
+    from repro.harness import (  # noqa: F401
+        ablations,
+        costmodel_exp,
+        job_scaling,
+        scaling,
+        staging_exp,
+        table1,
+        table2,
+        table3,
+        table4,
+    )
+
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def all_experiment_names() -> list[str]:
+    """Names of all registered experiments."""
+    from repro.harness import (  # noqa: F401
+        ablations,
+        costmodel_exp,
+        job_scaling,
+        scaling,
+        staging_exp,
+        table1,
+        table2,
+        table3,
+        table4,
+    )
+
+    return sorted(REGISTRY)

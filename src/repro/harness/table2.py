@@ -1,0 +1,133 @@
+"""Table II: L1 cache misses during import and visit.
+
+Paper values (millions of misses, full scale):
+
+    version    import L1-D  import L1-I  visit L1-D  visit L1-I
+    Vanilla         6269.8         0.47         3.9        18.0
+    Link            4945.2         0.25      3076.5        19.8
+    Link+Bind       4945.3         0.26         3.9        17.9
+
+The headline: lazy binding of pre-linked objects explodes *visit-time*
+data-cache misses by ~800x (the resolver's walks over megabytes of hash
+tables, symbol entries and strings evict everything), while the eagerly
+bound builds visit with a quiet cache.
+"""
+
+from __future__ import annotations
+
+from repro.core.builds import BuildMode
+from repro.core.runner import RunResult
+from repro.harness.experiments import ExperimentResult, register
+from repro.harness.table1 import link_mode_comparison
+
+#: The paper's Table II, millions of misses.
+PAPER_TABLE2: dict[str, dict[str, float]] = {
+    "vanilla": {
+        "import_l1d": 6269.8,
+        "import_l1i": 0.47,
+        "visit_l1d": 3.9,
+        "visit_l1i": 18.0,
+    },
+    "link": {
+        "import_l1d": 4945.2,
+        "import_l1i": 0.25,
+        "visit_l1d": 3076.5,
+        "visit_l1i": 19.8,
+    },
+    "link+bind": {
+        "import_l1d": 4945.3,
+        "import_l1i": 0.26,
+        "visit_l1d": 3.9,
+        "visit_l1i": 17.9,
+    },
+}
+
+
+def table2_metrics(results: dict[BuildMode, RunResult]) -> dict[str, float]:
+    """The miss-count ratios Table II demonstrates."""
+    vanilla = results[BuildMode.VANILLA].report
+    link = results[BuildMode.LINKED].report
+    bind = results[BuildMode.LINKED_BIND_NOW].report
+    return {
+        "visit_l1d_ratio_link_over_vanilla": (
+            link.counters["visit"].l1d_misses
+            / max(1, vanilla.counters["visit"].l1d_misses)
+        ),
+        "import_l1d_ratio_vanilla_over_link": (
+            vanilla.counters["import"].l1d_misses
+            / max(1, link.counters["import"].l1d_misses)
+        ),
+        "bind_visit_l1d_over_vanilla": (
+            bind.counters["visit"].l1d_misses
+            / max(1, vanilla.counters["visit"].l1d_misses)
+        ),
+        "import_d_over_i_vanilla": (
+            vanilla.counters["import"].l1d_misses
+            / max(1, vanilla.counters["import"].l1i_misses)
+        ),
+    }
+
+
+@register("table2")
+def run() -> ExperimentResult:
+    """Regenerate Table II (measured counts next to the paper's)."""
+    results = link_mode_comparison()
+    result = ExperimentResult(
+        name="L1 data and instruction cache misses",
+        paper_reference="Table II",
+    )
+    headers = [
+        "version",
+        "import L1-D",
+        "import L1-I",
+        "visit L1-D",
+        "visit L1-I",
+        "paper import L1-D (M)",
+        "paper visit L1-D (M)",
+    ]
+    rows = []
+    for mode in BuildMode:
+        counters = results[mode].report.counters
+        paper = PAPER_TABLE2[mode.value]
+        rows.append(
+            [
+                mode.value,
+                counters["import"].l1d_misses,
+                counters["import"].l1i_misses,
+                counters["visit"].l1d_misses,
+                counters["visit"].l1i_misses,
+                paper["import_l1d"],
+                paper["visit_l1d"],
+            ]
+        )
+    result.add_table(
+        "Table II reproduction (raw simulated counts, 1/12 scale)", headers, rows
+    )
+    metrics = table2_metrics(results)
+    result.metrics.update(metrics)
+    result.add_table(
+        "structural ratios",
+        ["ratio", "measured", "paper"],
+        [
+            [
+                "visit L1-D: link / vanilla",
+                metrics["visit_l1d_ratio_link_over_vanilla"],
+                3076.5 / 3.9,
+            ],
+            [
+                "import L1-D: vanilla / link",
+                metrics["import_l1d_ratio_vanilla_over_link"],
+                6269.8 / 4945.2,
+            ],
+            [
+                "visit L1-D: link+bind / vanilla",
+                metrics["bind_visit_l1d_over_vanilla"],
+                3.9 / 3.9,
+            ],
+        ],
+    )
+    result.notes.append(
+        "import is data-miss dominated in all builds (resolver traffic); "
+        "instruction misses stay flat across builds, as in the paper"
+    )
+    return result

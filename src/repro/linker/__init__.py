@@ -1,0 +1,25 @@
+"""Static and dynamic linking.
+
+This package reproduces the glibc ``ld.so`` behaviours the paper measures:
+
+- scope-ordered symbol lookup over SysV hash tables
+  (:mod:`repro.linker.resolver`),
+- program startup with eager data relocations and lazy or ``LD_BIND_NOW``
+  PLT binding, ``dlopen``/``dlsym`` with reference counting — including
+  the paper's observation that ``RTLD_NOW`` is *not* honoured when
+  dlopening an object that was already pre-linked lazily
+  (:mod:`repro.linker.dynamic`),
+- build-time linking of generated DLLs into the executable
+  (:mod:`repro.linker.static`).
+"""
+
+from repro.linker.resolver import ResolutionResult, SymbolResolver
+from repro.linker.dynamic import DynamicLinker
+from repro.linker.static import StaticLinker
+
+__all__ = [
+    "DynamicLinker",
+    "ResolutionResult",
+    "StaticLinker",
+    "SymbolResolver",
+]

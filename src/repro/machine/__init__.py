@@ -1,0 +1,34 @@
+"""Simulated hardware and operating-system substrate.
+
+A :class:`Node` models one Zeus compute node (clock, cache hierarchy,
+disk buffer cache); a :class:`Cluster` wires several nodes to shared file
+systems and an interconnect.  A :class:`Process` owns a demand-paged
+:class:`AddressSpace` governed by an :class:`OsProfile` (Linux/CHAOS by
+default, with AIX-32 and BlueGene-style profiles for the Section II.B.2
+behaviours).  All instruction, cache and paging costs funnel through an
+:class:`ExecutionContext`, and every tunable constant lives in
+:class:`CostModel`.
+"""
+
+from repro.machine.costs import CostModel
+from repro.machine.clock import SimClock
+from repro.machine.osprofile import OsProfile, aix32, bluegene, linux_chaos
+from repro.machine.paging import AddressSpace, Mapping
+from repro.machine.node import Node, Process
+from repro.machine.context import ExecutionContext
+from repro.machine.cluster import Cluster
+
+__all__ = [
+    "AddressSpace",
+    "Cluster",
+    "CostModel",
+    "ExecutionContext",
+    "Mapping",
+    "Node",
+    "OsProfile",
+    "Process",
+    "SimClock",
+    "aix32",
+    "bluegene",
+    "linux_chaos",
+]

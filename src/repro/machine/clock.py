@@ -1,0 +1,46 @@
+"""The simulated cycle clock.
+
+Each node advances an integer cycle counter; seconds are derived at the
+node's clock frequency.  Phase timers (:mod:`repro.perf.timers`) read this
+clock the way the Pynamic driver reads ``time.time()``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.units import DEFAULT_FREQUENCY_HZ
+
+
+class SimClock:
+    """Monotonic simulated clock counting CPU cycles."""
+
+    def __init__(self, frequency_hz: int = DEFAULT_FREQUENCY_HZ) -> None:
+        if frequency_hz <= 0:
+            raise ConfigError(f"frequency must be positive, got {frequency_hz}")
+        self.frequency_hz = frequency_hz
+        self.cycles = 0
+
+    def add_cycles(self, cycles: int) -> None:
+        """Advance the clock by a non-negative number of cycles."""
+        if cycles < 0:
+            raise ConfigError(f"cannot add negative cycles: {cycles}")
+        self.cycles += cycles
+
+    def add_seconds(self, seconds: float) -> None:
+        """Advance the clock by a wall-clock duration."""
+        if seconds < 0:
+            raise ConfigError(f"cannot add negative seconds: {seconds}")
+        self.cycles += round(seconds * self.frequency_hz)
+
+    def advance_to(self, cycles: int) -> None:
+        """Move the clock forward to an absolute cycle count (never back)."""
+        if cycles > self.cycles:
+            self.cycles = cycles
+
+    @property
+    def seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self.cycles / float(self.frequency_hz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock({self.cycles} cy = {self.seconds:.6f} s)"

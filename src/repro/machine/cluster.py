@@ -1,0 +1,94 @@
+"""A cluster of nodes sharing file systems — the simulated Zeus.
+
+Zeus (Section IV) is a 288-node InfiniBand cluster with 8 Opteron cores per
+node.  A :class:`Cluster` creates homogeneous nodes wired to a shared
+:class:`NFSServer` (where DLLs are staged) and a
+:class:`ParallelFileSystem`, and provides the barrier/synchronization
+helpers that MPI jobs and the parallel debugger need.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.fs.files import FileStore
+from repro.fs.nfs import NFSServer
+from repro.fs.parallelfs import ParallelFileSystem
+from repro.machine.costs import CostModel
+from repro.machine.node import Node
+
+
+class Cluster:
+    """Homogeneous nodes plus shared storage."""
+
+    def __init__(
+        self,
+        n_nodes: int = 1,
+        cores_per_node: int = 8,
+        costs: CostModel | None = None,
+        nfs: NFSServer | None = None,
+        pfs: ParallelFileSystem | None = None,
+    ) -> None:
+        if n_nodes < 1 or cores_per_node < 1:
+            raise ConfigError("cluster needs at least one node and core")
+        self.costs = costs or CostModel()
+        self.nfs = nfs or NFSServer()
+        self.pfs = pfs or ParallelFileSystem()
+        self.file_store = FileStore()
+        self.nodes = [
+            Node(name=f"node{i}", costs=self.costs, cores=cores_per_node)
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across the cluster."""
+        return sum(node.cores for node in self.nodes)
+
+    def node_for_rank(self, rank: int, n_tasks: int) -> Node:
+        """Block placement of MPI ranks onto nodes.
+
+        Ranks fill each node up to its core count first (srun-style block
+        placement); oversubscribed jobs spread evenly instead.
+        """
+        if not 0 <= rank < n_tasks:
+            raise ConfigError(f"rank {rank} out of range for {n_tasks} tasks")
+        cores = self.nodes[0].cores
+        per_node = max(cores, -(-n_tasks // self.n_nodes))  # ceil division
+        index = min(rank // per_node, self.n_nodes - 1)
+        return self.nodes[index]
+
+    def nodes_for_job(self, n_tasks: int) -> list[Node]:
+        """The distinct nodes a job of ``n_tasks`` ranks occupies."""
+        seen: list[Node] = []
+        for rank in range(n_tasks):
+            node = self.node_for_rank(rank, n_tasks)
+            if node not in seen:
+                seen.append(node)
+        return seen
+
+    def barrier(self, nodes: list[Node] | None = None) -> float:
+        """Synchronize node clocks to the latest participant.
+
+        Returns the synchronized time in seconds.  This is how SPMD phases
+        (and the debugger's stop-the-world updates) are aligned.
+        """
+        participants = nodes if nodes is not None else self.nodes
+        if not participants:
+            raise ConfigError("barrier over an empty node set")
+        latest = max(node.clock.cycles for node in participants)
+        for node in participants:
+            node.clock.advance_to(latest)
+        return participants[0].clock.seconds
+
+    def drop_buffer_caches(self) -> None:
+        """Evict every node's buffer cache (model a cold first invocation)."""
+        for node in self.nodes:
+            node.buffer_cache.drop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({self.n_nodes} nodes x {self.nodes[0].cores} cores)"

@@ -1,0 +1,140 @@
+"""The calibration surface: every tunable cost constant, in one place.
+
+The paper measured wall-clock seconds and hardware cache-miss counters on a
+2007 Opteron cluster.  Our substrate replaces that hardware with a cost
+model; this module is the *only* place where magic numbers live, each with
+the paper observation that motivates it.  Benchmarks never assert absolute
+equality with the paper — only orderings and coarse ratios — so these
+defaults aim for mechanism fidelity first and magnitude plausibility second.
+
+Calibration notes
+-----------------
+* ``l2_hit_penalty`` / ``memory_penalty`` are *effective* (amortized)
+  penalties, far below raw DRAM latency: Table I/II imply ~41M L1-D misses
+  per second during the Vanilla import, which is only consistent with
+  substantial memory-level parallelism in the resolver's pointer chasing.
+* The dynamic-linker constants model glibc's ``_dl_lookup_symbol`` walking
+  the search scope object-by-object, probing each object's SysV hash table;
+  ``dlopen_relookup_fraction`` models the "general inefficiency in the
+  LINUX dlopen implementation when it deals with pre-linked shared
+  objects" the paper reports (import of pre-linked DSOs was only ~3x
+  faster than a full Vanilla import, not ~free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import DEFAULT_FREQUENCY_HZ
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All simulation cost constants (cycles unless suffixed otherwise)."""
+
+    # --- core ---------------------------------------------------------
+    #: Clock frequency of a Zeus Opteron core (Section IV: 2.4 GHz).
+    frequency_hz: int = DEFAULT_FREQUENCY_HZ
+    #: Cycles per "work" instruction (IPC of 1 on the in-order model).
+    cycles_per_instruction: float = 1.0
+    #: Effective extra cycles for an L1 miss that hits in L2.
+    l2_hit_penalty: int = 25
+    #: Effective extra cycles for an access that misses to memory.
+    memory_penalty: int = 150
+
+    # --- virtual memory ------------------------------------------------
+    #: Page size used by the pager and buffer caches.
+    page_bytes: int = 4096
+    #: Kernel overhead of any page fault (trap, PTE fill, TLB refill).
+    minor_fault_cycles: int = 3_000
+    #: Extra kernel overhead of a file-backed (major) fault, on top of the
+    #: buffer-cache/NFS read time charged separately.
+    major_fault_extra_cycles: int = 9_000
+    #: Kernel read-ahead window: a major fault reads this much of the
+    #: mapping in one request (amortizing per-request file-system latency).
+    readahead_bytes: int = 128 * 1024
+
+    # --- dynamic linker --------------------------------------------------
+    #: Fixed instructions for a dlopen of a not-yet-loaded object (path
+    #: resolution, fd open, program-header parse).
+    dlopen_base_instructions: int = 30_000
+    #: Instructions to create/initialize one link-map entry.
+    linkmap_entry_instructions: int = 2_000
+    #: Per-object instructions when dlopen re-verifies an already-loaded
+    #: object (soname compare, dependency walk) — the observed glibc
+    #: inefficiency with pre-linked shared objects.
+    dlopen_reverify_per_object_instructions: int = 400
+    #: Fraction of a full symbol-resolution pass that the re-verification
+    #: of a pre-linked object performs (version/presence checks that walk
+    #: hash tables without writing the GOT).
+    dlopen_relookup_fraction: float = 0.32
+    #: Fixed instructions per symbol lookup (_dl_lookup_symbol entry).
+    lookup_base_instructions: int = 200
+    #: Instructions per character of the ELF hash computation.
+    hash_instructions_per_char: int = 2
+    #: Instructions per hash-table probe (bucket fetch, index arithmetic).
+    probe_instructions: int = 100
+    #: Instructions for a GNU-hash Bloom-filter check (one word test).
+    bloom_check_instructions: int = 8
+    #: Instructions per character compared by strcmp on a hash collision.
+    strcmp_instructions_per_char: int = 1
+    #: Instructions to apply one relocation (compute + write).
+    relocation_instructions: int = 35
+    #: Instructions of the lazy-binding trampoline (_dl_runtime_resolve
+    #: register save/restore and PLT fixup) excluding the lookup itself.
+    lazy_fixup_instructions: int = 1_500
+    #: Instructions for a call through an already-resolved PLT slot.
+    plt_call_instructions: int = 3
+    #: Fixed instructions for dlsym bookkeeping around the lookup.
+    dlsym_instructions: int = 250
+
+    # --- Python runtime ---------------------------------------------------
+    #: Instructions of interpreter boot (site, codecs, pyMPI init).
+    interpreter_boot_instructions: int = 250_000_000
+    #: Instructions of Python import machinery per module (find_module,
+    #: sys.modules bookkeeping) excluding the dlopen itself.
+    py_import_overhead_instructions: int = 180_000
+    #: Instructions of a module's init function (PyModule_Create etc.).
+    py_module_init_instructions: int = 8_000
+    #: Instructions to register one method-table entry at init.
+    method_register_instructions: int = 60
+    #: Interpreter overhead of calling a C entry point from Python.
+    py_call_overhead_instructions: int = 350
+    #: Overhead of a native C call (prologue/epilogue).
+    c_call_instructions: int = 12
+    #: Instructions to marshal one C argument.
+    argument_instructions: int = 3
+
+    # --- process / job -------------------------------------------------
+    #: Instructions between exec() and control reaching ld.so (kernel exec,
+    #: stack/vdso setup).
+    exec_base_instructions: int = 5_000_000
+    #: Seconds of job-launcher overhead before exec on every task (srun).
+    job_launch_latency_s: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.cycles_per_instruction <= 0:
+            raise ConfigError("CPI must be positive")
+        if not 0.0 <= self.dlopen_relookup_fraction <= 1.0:
+            raise ConfigError("dlopen_relookup_fraction must be in [0, 1]")
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ConfigError("page size must be a positive power of two")
+
+    def instructions_to_cycles(self, instructions: int | float) -> int:
+        """Convert an instruction count to cycles under the model's CPI."""
+        if instructions < 0:
+            raise ConfigError(f"negative instruction count: {instructions}")
+        return round(instructions * self.cycles_per_instruction)
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert seconds to cycles at the model's clock frequency."""
+        if seconds < 0:
+            raise ConfigError(f"negative seconds: {seconds}")
+        return round(seconds * self.frequency_hz)
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert cycles to seconds at the model's clock frequency."""
+        return cycles / float(self.frequency_hz)

@@ -1,0 +1,70 @@
+"""Operating-system profiles.
+
+Section II.B.2 of the paper discusses three OS behaviours that interact
+badly with Python-scale DLL usage:
+
+- the AIX 32-bit 256 MB text-segment limit,
+- disabling demand paging "a trend in contemporary massively parallel
+  systems" (BlueGene/L), trading memory-management complexity for text
+  sizes that must be fully resident,
+- address randomization (RedHat exec-shield), which makes the per-task
+  link maps heterogeneous and defeats tools that share parse results
+  across tasks,
+
+plus the AIX-before-4.3.2 ptrace rule that all breakpoints be reinserted
+on every load event (Section II.B.3).  An :class:`OsProfile` captures all
+four switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class OsProfile:
+    """Switches describing how the simulated OS treats a process."""
+
+    name: str
+    page_bytes: int = 4096
+    #: Hard ceiling on total mapped text, or None for no limit.
+    text_limit_bytes: int | None = None
+    #: If False, file-backed mappings are read in full at map time
+    #: (no major faults later — the BlueGene/L behaviour).
+    demand_paging: bool = True
+    #: exec-shield-style randomization of DLL load addresses.
+    randomize_load_addresses: bool = False
+    #: AIX-style ptrace: every load event forces all breakpoints to be
+    #: reinserted by the debugger (the B x T2 term of Section II.B.3).
+    ptrace_reinsert_breakpoints: bool = False
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ConfigError("page size must be a positive power of two")
+        if self.text_limit_bytes is not None and self.text_limit_bytes <= 0:
+            raise ConfigError("text limit must be positive when set")
+
+
+def linux_chaos(randomize_load_addresses: bool = False) -> OsProfile:
+    """Zeus's CHAOS (RHEL-based) Linux: demand paging, no text limit."""
+    return OsProfile(
+        name="linux_chaos",
+        randomize_load_addresses=randomize_load_addresses,
+    )
+
+
+def aix32() -> OsProfile:
+    """AIX 32-bit process model: 256 MB text limit, reinsert-on-load ptrace."""
+    return OsProfile(
+        name="aix32",
+        text_limit_bytes=256 * MIB,
+        ptrace_reinsert_breakpoints=True,
+    )
+
+
+def bluegene() -> OsProfile:
+    """BlueGene/L-style lightweight kernel: no demand paging."""
+    return OsProfile(name="bluegene", demand_paging=False)

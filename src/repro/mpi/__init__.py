@@ -1,0 +1,28 @@
+"""A pyMPI-like simulated MPI layer.
+
+"pyMPI was developed to extend Python's scripting abilities to parallel
+and distributed codes. ... The pyMPI processes can themselves send
+messages using MPI-like semantics.  pyMPI handles the details of
+serializing/unserializing messages using MPI native types where possible
+and the Python pickle serialization mechanism elsewhere." (Section II)
+
+The layer computes *real values* (an allreduce really reduces) while
+charging simulated time from a latency/bandwidth interconnect model of
+Zeus's InfiniBand fabric.
+"""
+
+from repro.mpi.api import MIN, MAX, PROD, SUM, MpiSession
+from repro.mpi.communicator import Communicator
+from repro.mpi.network import NetworkModel
+from repro.mpi.serialization import serialize
+
+__all__ = [
+    "Communicator",
+    "MAX",
+    "MIN",
+    "MpiSession",
+    "NetworkModel",
+    "PROD",
+    "SUM",
+    "serialize",
+]

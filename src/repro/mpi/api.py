@@ -1,0 +1,97 @@
+"""The pyMPI-style user-facing API.
+
+Coordination code in the paper's motivating applications looks like
+``mpi.allreduce(dt, mpi.MIN)``; :class:`MpiSession` offers that surface
+over the simulated cluster, and :meth:`MpiSession.run_selftest` is the
+"test of the MPI functionality" the Pynamic driver performs when built
+against pyMPI (Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import CommunicatorError
+from repro.machine.cluster import Cluster
+from repro.machine.context import ExecutionContext
+from repro.mpi.communicator import Communicator
+from repro.mpi.network import NetworkModel
+from repro.mpi.serialization import serialize
+
+T = TypeVar("T")
+
+# The reduction operators pyMPI exposes as mpi.MIN etc.
+MIN: Callable = min
+MAX: Callable = max
+
+
+def SUM(a, b):  # noqa: N802 - matching the MPI constant's name
+    """mpi.SUM."""
+    return a + b
+
+
+def PROD(a, b):  # noqa: N802 - matching the MPI constant's name
+    """mpi.PROD."""
+    return a * b
+
+
+class MpiSession:
+    """An MPI world of ``n_tasks`` ranks on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster | None = None,
+        n_tasks: int = 1,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if n_tasks < 1:
+            raise CommunicatorError(f"need at least one task, got {n_tasks}")
+        self.cluster = cluster or Cluster(n_nodes=1)
+        self.n_tasks = n_tasks
+        self.network = network or NetworkModel()
+        self.world = Communicator(n_tasks, self.network)
+
+    # -- pyMPI-like calls from the detailed rank's perspective -----------
+    def allreduce(
+        self, ctx: ExecutionContext, per_rank_values: Sequence[T], op: Callable[[T, T], T]
+    ) -> T:
+        """``mpi.allreduce(value, op)`` — charges time to ``ctx``."""
+        message = serialize(per_rank_values[0])
+        ctx.work(message.cpu_instructions)
+        result, seconds = self.world.allreduce(per_rank_values, op)
+        ctx.stall_seconds(seconds)
+        return result
+
+    def bcast(self, ctx: ExecutionContext, value: T, root: int = 0) -> T:
+        """``mpi.bcast(value)``."""
+        message = serialize(value)
+        ctx.work(message.cpu_instructions)
+        result, seconds = self.world.bcast(value, root)
+        ctx.stall_seconds(seconds)
+        return result
+
+    def barrier(self, ctx: ExecutionContext) -> None:
+        """``mpi.barrier()``."""
+        ctx.stall_seconds(self.world.barrier())
+
+    def ring_exchange(self, ctx: ExecutionContext, payload: object) -> None:
+        """Neighbour exchange around the ring."""
+        message = serialize(payload)
+        ctx.work(message.cpu_instructions)
+        ctx.stall_seconds(self.world.ring_exchange(payload))
+
+    # -- the driver's MPI functionality test ------------------------------
+    def run_selftest(self, ctx: ExecutionContext) -> None:
+        """The Pynamic driver's MPI test.
+
+        Mirrors typical pyMPI coordination: a barrier, a native-typed
+        allreduce (the paper's ``mpi.allreduce(dt, mpi.MIN)`` idiom), a
+        pickled broadcast, and a ring exchange.
+        """
+        self.barrier(ctx)
+        timesteps = [0.1 + 0.01 * rank for rank in range(self.n_tasks)]
+        smallest = self.allreduce(ctx, timesteps, MIN)
+        if smallest != min(timesteps):
+            raise CommunicatorError("allreduce self-test produced a wrong value")
+        self.bcast(ctx, {"benchmark": "pynamic", "tasks": self.n_tasks})
+        self.ring_exchange(ctx, list(range(128)))

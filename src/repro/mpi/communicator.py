@@ -1,0 +1,148 @@
+"""Communicators: SPMD collectives with real values and modelled time.
+
+The simulation runs one detailed rank (rank 0) while the other ranks are
+homogeneous by construction (identical binaries, identical imports — the
+property Section II.B.2 says scalable tools rely on).  A collective is
+therefore evaluated as: *real reduction over the per-rank values* plus
+the network model's time estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import CommunicatorError
+from repro.mpi.network import NetworkModel
+from repro.mpi.serialization import serialize
+
+T = TypeVar("T")
+
+
+class Communicator:
+    """An MPI communicator of ``size`` ranks."""
+
+    _next_context_id = 0
+
+    def __init__(self, size: int, network: NetworkModel | None = None) -> None:
+        if size < 1:
+            raise CommunicatorError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self.network = network or NetworkModel()
+        Communicator._next_context_id += 1
+        self.context_id = Communicator._next_context_id
+        #: Seconds of communication this communicator has performed.
+        self.comm_seconds = 0.0
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator (fresh context id, same group)."""
+        return Communicator(self.size, self.network)
+
+    def _check_values(self, values: Sequence[object]) -> None:
+        if len(values) != self.size:
+            raise CommunicatorError(
+                f"expected one value per rank ({self.size}), got {len(values)}"
+            )
+
+    def allreduce(
+        self, values: Sequence[T], op: Callable[[T, T], T]
+    ) -> tuple[T, float]:
+        """Reduce per-rank values with ``op``; all ranks get the result.
+
+        Returns ``(result, seconds)``.
+        """
+        self._check_values(values)
+        result = values[0]
+        for value in values[1:]:
+            result = op(result, value)
+        message = serialize(values[0])
+        seconds = self.network.allreduce_seconds(self.size, message.payload_bytes)
+        self.comm_seconds += seconds
+        return result, seconds
+
+    def bcast(self, value: T, root: int = 0) -> tuple[T, float]:
+        """Broadcast ``value`` from ``root``; returns ``(value, seconds)``."""
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range (size {self.size})")
+        message = serialize(value)
+        seconds = self.network.bcast_seconds(self.size, message.payload_bytes)
+        self.comm_seconds += seconds
+        return value, seconds
+
+    def barrier(self) -> float:
+        """Synchronize all ranks; returns the seconds spent."""
+        seconds = self.network.barrier_seconds(self.size)
+        self.comm_seconds += seconds
+        return seconds
+
+    def ring_exchange(self, payload: object) -> float:
+        """Each rank sends ``payload`` to its right neighbour."""
+        message = serialize(payload)
+        seconds = self.network.ring_seconds(self.size, message.payload_bytes)
+        self.comm_seconds += seconds
+        return seconds
+
+    def reduce(
+        self, values: Sequence[T], op: Callable[[T, T], T], root: int = 0
+    ) -> tuple[T, float]:
+        """Rooted reduction (binomial tree: half an allreduce)."""
+        self._check_values(values)
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range (size {self.size})")
+        result = values[0]
+        for value in values[1:]:
+            result = op(result, value)
+        message = serialize(values[0])
+        seconds = self.network.bcast_seconds(self.size, message.payload_bytes)
+        self.comm_seconds += seconds
+        return result, seconds
+
+    def gather(self, values: Sequence[T], root: int = 0) -> tuple[list[T], float]:
+        """Gather one value per rank at ``root``."""
+        self._check_values(values)
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range (size {self.size})")
+        message = serialize(values[0])
+        # Binomial gather: log rounds, data volume doubling toward root.
+        seconds = self.network.bcast_seconds(
+            self.size, message.payload_bytes * max(1, self.size // 2)
+        )
+        self.comm_seconds += seconds
+        return list(values), seconds
+
+    def scatter(self, values: Sequence[T], root: int = 0) -> tuple[list[T], float]:
+        """Scatter one value per rank from ``root``; returns all ranks'
+        received values (the simulation sees every rank)."""
+        self._check_values(values)
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range (size {self.size})")
+        message = serialize(values[0])
+        seconds = self.network.bcast_seconds(
+            self.size, message.payload_bytes * max(1, self.size // 2)
+        )
+        self.comm_seconds += seconds
+        return list(values), seconds
+
+    def split(self, colors: Sequence[int], key_rank: int = 0) -> "Communicator":
+        """``MPI_Comm_split``: the sub-communicator containing ``key_rank``.
+
+        ``colors`` assigns one color per rank; ranks sharing the color of
+        ``key_rank`` form the returned communicator.
+        """
+        self._check_values(colors)
+        if not 0 <= key_rank < self.size:
+            raise CommunicatorError(
+                f"rank {key_rank} out of range (size {self.size})"
+            )
+        members = sum(1 for color in colors if color == colors[key_rank])
+        # The split itself is an allgather of colors.
+        self.comm_seconds += self.network.allreduce_seconds(self.size, 8)
+        return Communicator(members, self.network)
+
+    def sendrecv(self, payload: object) -> float:
+        """A matched point-to-point exchange between two ranks."""
+        if self.size < 2:
+            raise CommunicatorError("sendrecv needs at least two ranks")
+        message = serialize(payload)
+        seconds = self.network.point_to_point_seconds(message.payload_bytes)
+        self.comm_seconds += seconds
+        return seconds

@@ -1,0 +1,57 @@
+"""Interconnect cost model (Zeus: InfiniBand, 2007-era).
+
+Collective times use standard log-P style estimates; the point for this
+reproduction is that the driver's "MPI test time" metric exists and
+scales sensibly with task count, not micro-accuracy of the fabric.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point latency/bandwidth plus derived collective costs."""
+
+    latency_s: float = 4e-6
+    bandwidth_bps: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0 or self.bandwidth_bps <= 0:
+            raise ConfigError("invalid network parameters")
+
+    def point_to_point_seconds(self, payload_bytes: int) -> float:
+        """One message between two ranks."""
+        if payload_bytes < 0:
+            raise ConfigError("payload must be non-negative")
+        return self.latency_s + payload_bytes / self.bandwidth_bps
+
+    def _rounds(self, n_tasks: int) -> int:
+        if n_tasks < 1:
+            raise ConfigError("need at least one task")
+        return math.ceil(math.log2(n_tasks)) if n_tasks > 1 else 0
+
+    def allreduce_seconds(self, n_tasks: int, payload_bytes: int) -> float:
+        """Recursive-doubling allreduce: reduce-scatter + allgather."""
+        rounds = self._rounds(n_tasks)
+        return 2 * rounds * self.point_to_point_seconds(payload_bytes)
+
+    def bcast_seconds(self, n_tasks: int, payload_bytes: int) -> float:
+        """Binomial-tree broadcast."""
+        rounds = self._rounds(n_tasks)
+        return rounds * self.point_to_point_seconds(payload_bytes)
+
+    def barrier_seconds(self, n_tasks: int) -> float:
+        """Dissemination barrier (zero-payload rounds)."""
+        rounds = self._rounds(n_tasks)
+        return rounds * self.point_to_point_seconds(0)
+
+    def ring_seconds(self, n_tasks: int, payload_bytes: int) -> float:
+        """A full ring exchange (each rank sends to its neighbour)."""
+        if n_tasks < 2:
+            return 0.0
+        return n_tasks * self.point_to_point_seconds(payload_bytes)

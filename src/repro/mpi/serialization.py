@@ -1,0 +1,51 @@
+"""pyMPI message serialization.
+
+"pyMPI handles the details of serializing/unserializing messages using
+MPI native types where possible and the Python pickle serialization
+mechanism elsewhere."  Native-typed payloads ship as raw 8-byte elements;
+anything else is pickled (bigger and CPU-costlier), and we use the real
+:mod:`pickle` so sizes are honest.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+NATIVE_SCALARS = (int, float, bool)
+
+
+@dataclass(frozen=True)
+class SerializedMessage:
+    """A payload ready for the simulated wire."""
+
+    payload_bytes: int
+    used_pickle: bool
+    #: CPU instructions to serialize + deserialize.
+    cpu_instructions: int
+
+
+def is_native(value: object) -> bool:
+    """True if pyMPI would ship this as MPI native types."""
+    if isinstance(value, NATIVE_SCALARS):
+        return True
+    if isinstance(value, (list, tuple)) and value:
+        return all(isinstance(item, NATIVE_SCALARS) for item in value)
+    return False
+
+
+def serialize(value: object) -> SerializedMessage:
+    """Size a message the way pyMPI would."""
+    if is_native(value):
+        count = len(value) if isinstance(value, (list, tuple)) else 1
+        return SerializedMessage(
+            payload_bytes=8 * count,
+            used_pickle=False,
+            cpu_instructions=40 + 2 * count,
+        )
+    blob = pickle.dumps(value, protocol=2)  # pyMPI-era protocol
+    return SerializedMessage(
+        payload_bytes=len(blob),
+        used_pickle=True,
+        cpu_instructions=400 + 12 * len(blob),
+    )

@@ -1,0 +1,15 @@
+"""Performance instrumentation: PAPI facade, phase timers, reports.
+
+The paper instrumented the driver "with the Performance Application
+Programming Interface (PAPI) ... implemented our PAPI function calls
+within a python callable module ... interfaced by the Pynamic driver to
+get the cache miss counts for both importing the modules and visiting the
+module functions" (Section IV.A).  :class:`PapiCounters` plays that role
+against the simulated cache hierarchy.
+"""
+
+from repro.perf.papi import PapiCounters
+from repro.perf.timers import PhaseTimer
+from repro.perf.report import render_table
+
+__all__ = ["PapiCounters", "PhaseTimer", "render_table"]

@@ -1,0 +1,58 @@
+"""A PAPI-like counter interface over the simulated cache hierarchy.
+
+Mirrors the paper's usage: start counters, run a phase (import / visit),
+read the per-phase L1 data and instruction miss deltas (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy, MissCounts
+from repro.errors import ConfigError
+
+
+class PapiCounters:
+    """Named-phase snapshots of hardware-style miss counters."""
+
+    def __init__(self, hierarchy: CacheHierarchy) -> None:
+        self._hierarchy = hierarchy
+        self._active: dict[str, MissCounts] = {}
+        self.phases: dict[str, MissCounts] = {}
+
+    def start(self, phase: str) -> None:
+        """Begin counting a phase (like ``PAPI_start_counters``)."""
+        if phase in self._active:
+            raise ConfigError(f"phase {phase!r} is already being counted")
+        self._active[phase] = self._hierarchy.counters()
+
+    def stop(self, phase: str) -> MissCounts:
+        """End a phase and record its counter delta."""
+        try:
+            start = self._active.pop(phase)
+        except KeyError:
+            raise ConfigError(f"phase {phase!r} was never started") from None
+        delta = self._hierarchy.counters().minus(start)
+        self.phases[phase] = delta
+        return delta
+
+    def get(self, phase: str) -> MissCounts:
+        """Delta for a completed phase."""
+        try:
+            return self.phases[phase]
+        except KeyError:
+            raise ConfigError(f"no counters recorded for phase {phase!r}") from None
+
+    class _PhaseHandle:
+        def __init__(self, papi: "PapiCounters", phase: str) -> None:
+            self._papi = papi
+            self._phase = phase
+
+        def __enter__(self) -> "PapiCounters._PhaseHandle":
+            self._papi.start(self._phase)
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._papi.stop(self._phase)
+
+    def phase(self, name: str) -> "PapiCounters._PhaseHandle":
+        """Context manager counting one phase."""
+        return self._PhaseHandle(self, name)

@@ -1,0 +1,53 @@
+"""Fixed-width table rendering for benchmark reports.
+
+The harness prints the paper's tables side by side with measured values;
+this module owns the formatting so every experiment reports uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Numeric cells are right-aligned; the first column is left-aligned.
+    """
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        parts = []
+        for i, cell in enumerate(row):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if 0 < abs(value) < 0.01:
+            return f"{value:.5f}"
+        return f"{value:.2f}"
+    return str(value)

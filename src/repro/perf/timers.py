@@ -1,0 +1,59 @@
+"""Phase timers over the simulated clock.
+
+The Pynamic driver "can also gather performance metrics including the job
+startup time, module import time, function visit time, and the MPI test
+time" — these timers are how our driver takes those readings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.machine.clock import SimClock
+
+
+class PhaseTimer:
+    """Named phase durations read from a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._active: dict[str, float] = {}
+        self.phases: dict[str, float] = {}
+
+    def start(self, phase: str) -> None:
+        """Record the phase start time."""
+        if phase in self._active:
+            raise ConfigError(f"phase {phase!r} already started")
+        self._active[phase] = self._clock.seconds
+
+    def stop(self, phase: str) -> float:
+        """Record the phase end time; returns its duration in seconds."""
+        try:
+            begun = self._active.pop(phase)
+        except KeyError:
+            raise ConfigError(f"phase {phase!r} was never started") from None
+        duration = self._clock.seconds - begun
+        self.phases[phase] = self.phases.get(phase, 0.0) + duration
+        return duration
+
+    def get(self, phase: str) -> float:
+        """Total recorded seconds for a phase."""
+        try:
+            return self.phases[phase]
+        except KeyError:
+            raise ConfigError(f"no time recorded for phase {phase!r}") from None
+
+    class _PhaseHandle:
+        def __init__(self, timer: "PhaseTimer", phase: str) -> None:
+            self._timer = timer
+            self._phase = phase
+
+        def __enter__(self) -> "PhaseTimer._PhaseHandle":
+            self._timer.start(self._phase)
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._timer.stop(self._phase)
+
+    def phase(self, name: str) -> "PhaseTimer._PhaseHandle":
+        """Context manager timing one phase."""
+        return self._PhaseHandle(self, name)

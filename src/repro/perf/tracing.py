@@ -1,0 +1,95 @@
+"""Event tracing: a timeline of what the dynamic linker did.
+
+Development tools "must be notified of every dynamic linking and loading
+event" (Section II.B.3); this module is the simulation's notification
+spine.  A :class:`EventTrace` attached to a :class:`DynamicLinker`
+records every map, relocation pass, dlopen, lazy fixup and unload with
+its simulated timestamp, which tests and tools can then query.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class EventKind(enum.Enum):
+    """Categories of linker events."""
+
+    MAP = "map"
+    UNMAP = "unmap"
+    DLOPEN_NEW = "dlopen_new"
+    DLOPEN_EXISTING = "dlopen_existing"
+    DATA_RELOCATIONS = "data_relocations"
+    EAGER_PLT = "eager_plt"
+    LAZY_FIXUP = "lazy_fixup"
+    DLSYM = "dlsym"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    seconds: float
+    kind: EventKind
+    subject: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.seconds:12.6f}s] {self.kind.value:16s} {self.subject}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class EventTrace:
+    """An append-only timeline of linker events."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Optional cap to bound memory in very long runs (0 = unbounded).
+    max_events: int = 0
+
+    def record(
+        self, seconds: float, kind: EventKind, subject: str, detail: str = ""
+    ) -> None:
+        """Append one event (drops silently past ``max_events``)."""
+        if self.max_events and len(self.events) >= self.max_events:
+            return
+        self.events.append(
+            TraceEvent(seconds=seconds, kind=kind, subject=subject, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def by_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of one kind, in order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        """Number of events of one kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def subjects(self, kind: EventKind) -> list[str]:
+        """Subjects (sonames/symbols) of one kind, in order."""
+        return [event.subject for event in self.events if event.kind is kind]
+
+    def is_monotone(self) -> bool:
+        """True if timestamps never go backwards (sanity invariant)."""
+        return all(
+            earlier.seconds <= later.seconds
+            for earlier, later in zip(self.events, self.events[1:])
+        )
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable timeline (optionally truncated)."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [str(event) for event in shown]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Deterministic random-number utilities.
+
+The paper stresses that Pynamic's generator accepts a *seed* so a given
+configuration is exactly reproducible.  All randomness in the library flows
+through :class:`SeededRng`, which wraps :class:`random.Random` and adds the
+few distributions the generator needs.  Two instances created with the same
+seed produce identical streams; independent sub-streams can be forked with
+:meth:`SeededRng.fork` so that, e.g., adding a new consumer of randomness in
+one subsystem does not perturb another subsystem's stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A seeded random stream with forkable sub-streams."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._random = random.Random(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this stream was created with."""
+        return self._seed
+
+    def fork(self, label: str) -> "SeededRng":
+        """Create an independent sub-stream derived from ``label``.
+
+        The child seed is a stable hash of the parent seed and the label, so
+        forking is order-independent: forking "modules" then "utilities"
+        yields the same streams as forking them in the opposite order.
+        """
+        child_seed = _stable_hash(f"{self._seed}:{label}")
+        return SeededRng(child_seed)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability in [0, 1]."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability out of range: {probability}")
+        return self._random.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one element of a non-empty sequence uniformly."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        """Pick ``k`` distinct elements uniformly without replacement."""
+        return self._random.sample(list(items), k)
+
+    def spread_around(self, average: int, spread: float) -> int:
+        """Integer uniformly distributed in ``average * (1 ± spread)``.
+
+        This models the paper's "the actual number of functions will vary
+        based on a random number" around the configured average.  The result
+        is never below 1.
+        """
+        if average < 1:
+            raise ValueError(f"average must be >= 1, got {average}")
+        if not 0.0 <= spread < 1.0:
+            raise ValueError(f"spread must be in [0, 1), got {spread}")
+        low = int(average * (1.0 - spread))
+        high = int(average * (1.0 + spread))
+        return max(1, self.randint(low, max(low, high)))
+
+
+def _stable_hash(text: str) -> int:
+    """A process-stable 63-bit string hash (Python's ``hash`` is salted)."""
+    value = 1469598103934665603  # FNV-1a offset basis
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 1099511628211) % (1 << 64)
+    return value & ((1 << 63) - 1)

@@ -1,0 +1,30 @@
+"""Development-tool-chain simulation (Section II.B.3 / IV.B).
+
+- :mod:`repro.tools.ptrace` — a process-control interface with the AIX
+  pre-4.3.2 quirk (all breakpoints reinserted on every load event),
+- :mod:`repro.tools.breakpoints` — the tool-side breakpoint table,
+- :mod:`repro.tools.debugger` — a TotalView-like parallel debugger whose
+  two-phase startup reproduces Table IV,
+- :mod:`repro.tools.dyninst` — a runtime-instrumentation library model,
+- :mod:`repro.tools.costmodel` — the closed-form M x N x (T1 + B x T2)
+  tool-update cost model, including the paper's "~83 minutes" example.
+"""
+
+from repro.tools.breakpoints import Breakpoint, BreakpointTable
+from repro.tools.ptrace import PtraceInterface, TracedTask
+from repro.tools.debugger import DebuggerStartup, ParallelDebugger, ToolCostModel
+from repro.tools.dyninst import Instrumenter
+from repro.tools.costmodel import ToolUpdateCostModel, paper_example
+
+__all__ = [
+    "Breakpoint",
+    "BreakpointTable",
+    "DebuggerStartup",
+    "Instrumenter",
+    "ParallelDebugger",
+    "PtraceInterface",
+    "ToolCostModel",
+    "ToolUpdateCostModel",
+    "TracedTask",
+    "paper_example",
+]

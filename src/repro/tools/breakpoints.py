@@ -1,0 +1,63 @@
+"""The tool-side breakpoint table.
+
+A breakpoint replaces the instruction byte at an address with a trap; the
+tool must remember the original byte to step over or remove it.  The AIX
+ptrace variant (Section II.B.2) forces the *whole table* to be reinserted
+on every dynamic-load event — the ``B x T2`` term of the paper's cost
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ToolError
+
+
+@dataclass(frozen=True)
+class Breakpoint:
+    """One planted breakpoint."""
+
+    address: int
+    #: The displaced original instruction byte (simulated).
+    original_byte: int = 0xCC
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ToolError(f"negative breakpoint address {self.address}")
+
+
+@dataclass
+class BreakpointTable:
+    """All breakpoints a tool holds in one task."""
+
+    _by_address: dict[int, Breakpoint] = field(default_factory=dict)
+
+    def insert(self, address: int) -> Breakpoint:
+        """Plant a breakpoint; re-planting the same address is an error."""
+        if address in self._by_address:
+            raise ToolError(f"breakpoint already set at {address:#x}")
+        bp = Breakpoint(address=address)
+        self._by_address[address] = bp
+        return bp
+
+    def remove(self, address: int) -> Breakpoint:
+        """Remove a breakpoint, returning it."""
+        try:
+            return self._by_address.pop(address)
+        except KeyError:
+            raise ToolError(f"no breakpoint at {address:#x}") from None
+
+    def lookup(self, address: int) -> Breakpoint | None:
+        """The breakpoint at an address, if any."""
+        return self._by_address.get(address)
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+    def __iter__(self):
+        return iter(self._by_address.values())
+
+    def addresses(self) -> list[int]:
+        """All planted addresses (sorted, for deterministic reinsertion)."""
+        return sorted(self._by_address)

@@ -1,0 +1,76 @@
+"""A Dyninst-like runtime-instrumentation library model.
+
+The paper lists Dyninst alongside TotalView as a tool that "must be
+notified of every dynamic linking and loading event so that they can
+update their internal process representations".  The model here covers
+the two costs that scale with Pynamic's knobs: parsing a DSO's symbols
+when it loads, and patching instrumentation (a base trampoline per
+function) into the functions a user asks to instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.image import SharedObject
+from repro.elf.symbols import SymbolKind
+from repro.errors import ToolError
+
+
+@dataclass(frozen=True)
+class InstrumentationPoint:
+    """One patched location (function entry)."""
+
+    soname: str
+    symbol: str
+    address_offset: int
+
+
+@dataclass
+class Instrumenter:
+    """Tracks parsed objects and patched functions; accumulates cost."""
+
+    #: Seconds to parse one byte of symbol/debug data at load time.
+    parse_seconds_per_byte: float = 60 / 2.4e9
+    #: Seconds to generate + insert one entry trampoline.
+    patch_seconds_per_point: float = 0.00004
+    parsed: dict[str, int] = field(default_factory=dict)
+    points: list[InstrumentationPoint] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    def handle_load(self, shared: SharedObject) -> float:
+        """Process a load event: parse the new object's tool sections."""
+        if shared.soname in self.parsed:
+            raise ToolError(f"{shared.soname} was already parsed")
+        tool_bytes = shared.sections.tool_bytes
+        self.parsed[shared.soname] = tool_bytes
+        seconds = tool_bytes * self.parse_seconds_per_byte
+        self.total_seconds += seconds
+        return seconds
+
+    def instrument_function(self, shared: SharedObject, symbol: str) -> InstrumentationPoint:
+        """Patch one function's entry with a trampoline."""
+        if shared.soname not in self.parsed:
+            raise ToolError(
+                f"cannot instrument {shared.soname}: object not parsed yet"
+            )
+        definition = shared.symbol_table.get(symbol)
+        if definition is None or definition.kind is not SymbolKind.FUNCTION:
+            raise ToolError(f"{shared.soname} has no function {symbol!r}")
+        point = InstrumentationPoint(
+            soname=shared.soname,
+            symbol=symbol,
+            address_offset=definition.value,
+        )
+        self.points.append(point)
+        self.total_seconds += self.patch_seconds_per_point
+        return point
+
+    def instrument_all_functions(self, shared: SharedObject) -> int:
+        """Patch every exported function of an object; returns the count."""
+        count = 0
+        for definition in shared.symbol_table.symbols():
+            if definition.kind is SymbolKind.FUNCTION:
+                self.instrument_function(shared, definition.name)
+                count += 1
+        return count

@@ -1,0 +1,83 @@
+"""Size and time unit helpers used throughout the simulation.
+
+The simulator keeps time in integer *cycles* of a fixed-frequency clock and
+sizes in integer *bytes*.  These helpers centralize the conversions and the
+human-readable formatting used by the benchmark reports (the paper reports
+seconds, megabytes and ``mm:ss`` strings).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Zeus nodes in the paper have 2.4 GHz Opteron cores.
+DEFAULT_FREQUENCY_HZ = 2_400_000_000
+
+
+def cycles_to_seconds(cycles: int, frequency_hz: int = DEFAULT_FREQUENCY_HZ) -> float:
+    """Convert a cycle count into seconds at the given clock frequency."""
+    if cycles < 0:
+        raise ValueError(f"cycle count must be non-negative, got {cycles}")
+    return cycles / float(frequency_hz)
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: int = DEFAULT_FREQUENCY_HZ) -> int:
+    """Convert seconds into a whole number of cycles (rounded)."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    return round(seconds * frequency_hz)
+
+
+def bytes_to_mib(n_bytes: int) -> float:
+    """Convert bytes to mebibytes as a float."""
+    return n_bytes / float(MIB)
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``'1.5 MiB'``."""
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    value = float(n_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or suffix == "GiB":
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render seconds the way Table I does, with one decimal place."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    return f"{seconds:.1f}"
+
+
+def format_mmss(seconds: float) -> str:
+    """Render seconds as ``m:ss`` the way Table IV does (e.g. ``5:28``)."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    whole = round(seconds)
+    minutes, secs = divmod(whole, 60)
+    return f"{minutes}:{secs:02d}"
+
+
+def parse_mmss(text: str) -> float:
+    """Parse a ``m:ss`` string back into seconds.
+
+    Used by tests to round-trip Table IV values and by EXPERIMENTS.md
+    tooling to compare against the paper's reported times.
+    """
+    parts = text.strip().split(":")
+    if len(parts) != 2:
+        raise ValueError(f"expected 'm:ss', got {text!r}")
+    minutes = int(parts[0])
+    seconds = int(parts[1])
+    if not 0 <= seconds < 60:
+        raise ValueError(f"seconds field out of range in {text!r}")
+    if minutes < 0:
+        raise ValueError(f"minutes field out of range in {text!r}")
+    return minutes * 60.0 + seconds

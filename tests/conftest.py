@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import presets
+from repro.core.builds import BuildMode, build_benchmark
+from repro.core.generator import generate
+from repro.machine.cluster import Cluster
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """The seconds-fast benchmark configuration."""
+    return presets.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_spec(tiny_config):
+    """A generated tiny benchmark (session-cached; specs are immutable)."""
+    return generate(tiny_config)
+
+
+@pytest.fixture()
+def cluster():
+    """A fresh single-node cluster."""
+    return Cluster(n_nodes=1)
+
+
+@pytest.fixture()
+def tiny_build_vanilla(tiny_spec, cluster):
+    """A vanilla build of the tiny benchmark, published to the cluster."""
+    build = build_benchmark(tiny_spec, cluster.nfs, BuildMode.VANILLA)
+    for image in build.images.values():
+        cluster.file_store.add(image)
+    return build
+
+
+@pytest.fixture()
+def tiny_build_linked(tiny_spec, cluster):
+    """A pre-linked build of the tiny benchmark."""
+    build = build_benchmark(tiny_spec, cluster.nfs, BuildMode.LINKED)
+    for image in build.images.values():
+        cluster.file_store.add(image)
+    return build

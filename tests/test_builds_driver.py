@@ -1,0 +1,211 @@
+"""Build lowering and the Pynamic driver (integration of core pieces)."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.builds import BuildMode, build_benchmark
+from repro.core.driver import PynamicDriver
+from repro.core.generator import generate
+from repro.core.runner import BenchmarkRunner
+from repro.elf.sections import SectionKind
+from repro.errors import ConfigError
+from repro.linker.static import StaticLinker
+from repro.machine.cluster import Cluster
+
+
+class TestBuildModes:
+    def test_vanilla_does_not_prelink_generated(self, tiny_build_vanilla):
+        needed = tiny_build_vanilla.executable.needed
+        assert not any(n.startswith("libmodule") for n in needed)
+
+    def test_linked_prelinkes_everything(self, tiny_build_linked):
+        needed = tiny_build_linked.executable.needed
+        spec = tiny_build_linked.spec
+        for module in spec.modules:
+            assert module.soname in needed
+        for utility in spec.utilities:
+            assert utility.soname in needed
+
+    def test_mode_flags(self):
+        assert not BuildMode.VANILLA.prelinked
+        assert BuildMode.LINKED.prelinked
+        assert BuildMode.LINKED_BIND_NOW.prelinked
+
+    def test_registry_covers_all_objects(self, tiny_build_vanilla):
+        build = tiny_build_vanilla
+        spec = build.spec
+        expected = (
+            1
+            + len(spec.system_libs)
+            + len(spec.modules)
+            + len(spec.utilities)
+        )
+        assert len(build.registry) == expected
+
+    def test_images_published_with_extents(self, tiny_build_vanilla):
+        for shared in tiny_build_vanilla.generated_objects:
+            image = shared.file_image
+            assert image is not None
+            assert SectionKind.DYNSYM.value in image.extents
+            assert SectionKind.DEBUG.value in image.extents
+
+    def test_benchmark_is_link_closed(self, tiny_build_linked):
+        """Every undefined symbol resolves inside the closure — the
+        generator produces self-contained benchmarks."""
+        missing = StaticLinker.undefined_after_link(
+            tiny_build_linked.executable, tiny_build_linked.registry
+        )
+        assert missing == []
+
+    def test_module_plt_includes_own_functions(self, tiny_build_vanilla):
+        """Exported (preemptible) functions: chain calls go through PLT."""
+        spec = tiny_build_vanilla.spec
+        module = spec.modules[0]
+        shared = tiny_build_vanilla.module_objects[module.soname]
+        plt_symbols = {r.symbol for r in shared.plt_relocations}
+        chained = {
+            f.internal_callee for f in module.functions if f.internal_callee
+        }
+        assert chained <= plt_symbols
+
+    def test_module_data_relocations_reference_python(self, tiny_build_vanilla):
+        shared = next(iter(tiny_build_vanilla.module_objects.values()))
+        data_symbols = {r.symbol for r in shared.data_relocations}
+        assert "_Py_NoneStruct" in data_symbols
+
+    def test_section_totals_positive(self, tiny_build_vanilla):
+        totals = tiny_build_vanilla.section_totals()
+        assert totals.text > 0
+        assert totals.debug > totals.data
+
+
+class TestDriverRuns:
+    def test_report_phases_positive(self, tiny_config):
+        report = BenchmarkRunner(config=tiny_config, mode=BuildMode.VANILLA).run().report
+        assert report.startup_s > 0
+        assert report.import_s > 0
+        assert report.visit_s > 0
+        assert report.total_s == pytest.approx(
+            report.startup_s + report.import_s + report.visit_s
+        )
+
+    def test_all_modules_imported_and_visited(self, tiny_config, tiny_spec):
+        report = BenchmarkRunner(spec=tiny_spec, mode=BuildMode.VANILLA).run().report
+        assert report.modules_imported == len(tiny_spec.modules)
+        total_module_functions = sum(m.n_functions for m in tiny_spec.modules)
+        # All module functions visited (full coverage), plus external calls.
+        assert report.functions_visited >= total_module_functions
+
+    def test_vanilla_visit_has_no_lazy_fixups(self, tiny_config):
+        report = BenchmarkRunner(config=tiny_config, mode=BuildMode.VANILLA).run().report
+        assert report.lazy_fixups == 0
+
+    def test_linked_visit_pays_lazy_fixups(self, tiny_config):
+        report = BenchmarkRunner(config=tiny_config, mode=BuildMode.LINKED).run().report
+        assert report.lazy_fixups > 0
+
+    def test_bind_now_eliminates_lazy_fixups(self, tiny_config):
+        result = BenchmarkRunner(
+            config=tiny_config, mode=BuildMode.LINKED_BIND_NOW
+        ).run()
+        assert result.report.lazy_fixups == 0
+        assert result.linker.eager_plt_resolutions > 0
+
+    def test_papi_counters_recorded(self, tiny_config):
+        report = BenchmarkRunner(config=tiny_config, mode=BuildMode.VANILLA).run().report
+        assert "import" in report.counters
+        assert "visit" in report.counters
+        assert report.counters["import"].l1d_misses > 0
+
+    def test_mpi_test_runs_when_enabled(self, tiny_config):
+        report = BenchmarkRunner(
+            config=tiny_config, mode=BuildMode.VANILLA, n_tasks=8
+        ).run().report
+        assert report.mpi_s > 0
+
+    def test_mpi_disabled(self, tiny_config):
+        from dataclasses import replace
+
+        config = replace(tiny_config, mpi_test=False)
+        report = BenchmarkRunner(config=config, mode=BuildMode.VANILLA).run().report
+        assert report.mpi_s == 0.0
+
+    def test_runner_requires_config_or_spec(self):
+        with pytest.raises(ConfigError):
+            BenchmarkRunner()
+
+    def test_driver_requires_started_program(self, tiny_build_vanilla, cluster):
+        from repro.errors import DriverError
+        from repro.linker.dynamic import DynamicLinker
+        from repro.machine.context import ExecutionContext
+
+        process = cluster.nodes[0].spawn()
+        ctx = ExecutionContext(process)
+        driver = PynamicDriver(
+            build=tiny_build_vanilla,
+            linker=DynamicLinker(tiny_build_vanilla.registry),
+            process=process,
+            ctx=ctx,
+        )
+        with pytest.raises(DriverError):
+            driver.run()
+
+    def test_cold_run_reads_more_file_bytes(self, tiny_spec):
+        warm = BenchmarkRunner(
+            spec=tiny_spec, mode=BuildMode.VANILLA, warm_file_cache=True
+        ).run().report
+        cold = BenchmarkRunner(
+            spec=tiny_spec, mode=BuildMode.VANILLA, warm_file_cache=False
+        ).run().report
+        assert cold.major_fault_bytes >= warm.major_fault_bytes
+
+    def test_same_spec_same_results(self, tiny_spec):
+        a = BenchmarkRunner(spec=tiny_spec, mode=BuildMode.LINKED).run().report
+        b = BenchmarkRunner(spec=tiny_spec, mode=BuildMode.LINKED).run().report
+        assert a.import_s == b.import_s
+        assert a.visit_s == b.visit_s
+        assert a.counters["visit"].l1d_misses == b.counters["visit"].l1d_misses
+
+
+class TestCoverageSemantics:
+    def test_partial_coverage_visits_fewer_functions(self):
+        from dataclasses import replace
+
+        base = presets.tiny()
+        full = BenchmarkRunner(config=base, mode=BuildMode.LINKED).run().report
+        partial = BenchmarkRunner(
+            config=replace(base, coverage=0.4), mode=BuildMode.LINKED
+        ).run().report
+        assert partial.functions_visited < full.functions_visited
+        assert partial.lazy_fixups < full.lazy_fixups
+
+
+class TestOsProfileIntegration:
+    def test_aix_text_limit_enforced_end_to_end(self):
+        from repro.errors import TextSegmentLimitError
+        from repro.machine.osprofile import aix32
+        from repro.core.config import PynamicConfig
+
+        config = PynamicConfig(
+            n_modules=24,
+            n_utilities=18,
+            avg_functions=900,
+            avg_body_instructions=2200,
+            seed=2,
+        )
+        with pytest.raises(TextSegmentLimitError):
+            BenchmarkRunner(
+                config=config, mode=BuildMode.LINKED, os_profile=aix32()
+            ).run()
+
+    def test_bluegene_has_no_major_faults_after_startup(self, tiny_spec):
+        from repro.machine.osprofile import bluegene
+
+        report = BenchmarkRunner(
+            spec=tiny_spec,
+            mode=BuildMode.LINKED,
+            os_profile=bluegene(),
+            warm_file_cache=False,
+        ).run().report
+        # Everything was read at map time: import/visit fault-free.
+        assert report.major_fault_bytes == 0

@@ -1,0 +1,177 @@
+"""Details of core: presets, system libraries, errors, driver internals."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.specs import SystemLibSpec
+from repro.core.syslibs import (
+    ALL_DATA_SYMBOLS,
+    LIBC_HOT_FUNCTIONS,
+    PYTHON_API_FUNCTIONS,
+    default_system_libs,
+)
+from repro.errors import (
+    ConfigError,
+    LinkError,
+    LoaderError,
+    PageFaultError,
+    ReproError,
+    TextSegmentLimitError,
+    UndefinedSymbolError,
+)
+
+
+class TestPresets:
+    def test_llnl_matches_paper_parameters(self):
+        """Section IV: 280 modules + 215 utilities, averaging 1850."""
+        config = presets.llnl_multiphysics()
+        assert config.n_modules == 280
+        assert config.n_utilities == 215
+        assert config.avg_functions == 1850
+        assert config.n_libraries == 495
+
+    def test_llnl_module_fraction_matches_paper(self):
+        """'more than half of which (57 percent) are Python modules'."""
+        config = presets.llnl_multiphysics()
+        fraction = config.n_modules / config.n_libraries
+        assert fraction == pytest.approx(0.57, abs=0.01)
+
+    def test_scaled_preset_preserves_mix(self):
+        config = presets.llnl_multiphysics_scaled(0.1)
+        fraction = config.n_modules / config.n_libraries
+        assert fraction == pytest.approx(0.56, abs=0.03)
+
+    def test_table4_keeps_paper_functions_per_library(self):
+        assert presets.table4_config().avg_functions == 1850
+
+    def test_tiny_is_actually_tiny(self):
+        config = presets.tiny()
+        assert config.n_modules * config.avg_functions < 100
+
+    def test_all_presets_valid(self):
+        presets.llnl_multiphysics()
+        presets.llnl_multiphysics_scaled(0.05)
+        presets.table1_config()
+        presets.table4_config()
+        presets.tiny()
+
+
+class TestSystemLibs:
+    def test_expected_base_set(self):
+        sonames = {lib.soname for lib in default_system_libs()}
+        assert {
+            "ld-linux-x86-64.so.2",
+            "libc.so.6",
+            "libm.so.6",
+            "libpthread.so.0",
+            "libdl.so.2",
+            "libpython2.5.so.1.0",
+            "libmpi.so.1",
+        } <= sonames
+
+    def test_libc_has_hot_functions(self):
+        libc = next(
+            lib for lib in default_system_libs() if lib.soname == "libc.so.6"
+        )
+        for name in LIBC_HOT_FUNCTIONS:
+            assert name in libc.symbol_names
+
+    def test_python_api_present(self):
+        libpython = next(
+            lib
+            for lib in default_system_libs()
+            if lib.soname.startswith("libpython")
+        )
+        for name in PYTHON_API_FUNCTIONS:
+            assert name in libpython.symbol_names
+
+    def test_symbol_counts_era_plausible(self):
+        by_name = {lib.name: lib for lib in default_system_libs()}
+        assert by_name["libc"].n_symbols > 1000
+        assert by_name["libdl"].n_symbols < 50
+
+    def test_data_symbols_classified(self):
+        assert "stdout" in ALL_DATA_SYMBOLS
+        assert "_Py_NoneStruct" in ALL_DATA_SYMBOLS
+        assert "malloc" not in ALL_DATA_SYMBOLS
+
+    def test_no_duplicate_symbols_within_a_lib(self):
+        for lib in default_system_libs():
+            assert len(lib.symbol_names) == len(set(lib.symbol_names))
+
+    def test_spec_properties(self):
+        spec = SystemLibSpec(
+            name="x", soname="libx.so", path="/libx.so", symbol_names=("a", "b")
+        )
+        assert spec.n_symbols == 2
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc_type in (
+            ConfigError,
+            LinkError,
+            LoaderError,
+            UndefinedSymbolError,
+            TextSegmentLimitError,
+            PageFaultError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_undefined_symbol_carries_context(self):
+        error = UndefinedSymbolError("missing_fn", 42)
+        assert error.name == "missing_fn"
+        assert error.scope_size == 42
+        assert "missing_fn" in str(error)
+
+    def test_text_limit_carries_sizes(self):
+        error = TextSegmentLimitError(300, 256)
+        assert error.text_bytes == 300
+        assert error.limit_bytes == 256
+
+    def test_page_fault_formats_hex(self):
+        assert "0xdead" in str(PageFaultError(0xDEAD))
+
+    def test_undefined_symbol_is_link_error(self):
+        assert issubclass(UndefinedSymbolError, LinkError)
+
+
+class TestDriverAccounting:
+    def test_visit_count_includes_externals(self, tiny_spec):
+        """functions_visited counts module functions plus the utility and
+        cross-module leaves they call."""
+        from repro.core.builds import BuildMode
+        from repro.core.runner import BenchmarkRunner
+
+        report = BenchmarkRunner(spec=tiny_spec, mode=BuildMode.VANILLA).run().report
+        module_functions = sum(m.n_functions for m in tiny_spec.modules)
+        external_calls = sum(
+            len(f.utility_calls) + len(f.cross_module_calls)
+            for m in tiny_spec.modules
+            for f in m.functions
+        )
+        assert report.functions_visited == module_functions + external_calls
+
+    def test_linked_fixups_bounded_by_plt_slots(self, tiny_spec, cluster):
+        from repro.core.builds import BuildMode, build_benchmark
+        from repro.core.runner import BenchmarkRunner
+
+        build = build_benchmark(tiny_spec, cluster.nfs, BuildMode.LINKED)
+        total_slots = sum(
+            len(shared.plt_relocations) for shared in build.registry.values()
+        )
+        report = BenchmarkRunner(spec=tiny_spec, mode=BuildMode.LINKED).run().report
+        assert 0 < report.lazy_fixups <= total_slots
+
+    def test_total_excludes_mpi(self, tiny_spec):
+        from repro.core.builds import BuildMode
+        from repro.core.runner import BenchmarkRunner
+
+        report = BenchmarkRunner(
+            spec=tiny_spec, mode=BuildMode.VANILLA, n_tasks=4
+        ).run().report
+        assert report.mpi_s > 0
+        # Table I's total column is startup+import+visit only.
+        assert report.total_s == pytest.approx(
+            report.startup_s + report.import_s + report.visit_s
+        )

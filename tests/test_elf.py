@@ -1,0 +1,259 @@
+"""The ELF object model: symbols, hashes, sections, images, link maps."""
+
+import pytest
+
+from repro.elf.image import Executable, SharedObject
+from repro.elf.linkmap import LinkMap, LoadedObject
+from repro.elf.relocation import Relocation, RelocationKind
+from repro.elf.sections import ALLOC_SECTIONS, SectionKind, SectionTable
+from repro.elf.symbols import (
+    SYMBOL_ENTRY_BYTES,
+    StringTable,
+    Symbol,
+    SymbolKind,
+    SymbolTable,
+    elf_hash,
+)
+from repro.errors import ConfigError, LinkError
+from repro.fs.nfs import NFSServer
+
+
+class TestElfHash:
+    def test_known_values(self):
+        # Reference values of the classic SysV hash.
+        assert elf_hash("") == 0
+        assert elf_hash("a") == 0x61
+        assert elf_hash("printf") == elf_hash("printf")
+
+    def test_distributes(self):
+        hashes = {elf_hash(f"sym_{i}") for i in range(100)}
+        assert len(hashes) > 90  # essentially no collisions on short names
+
+    def test_32_bit_range(self):
+        for name in ("x" * 100, "very_long_symbol_name" * 20):
+            assert 0 <= elf_hash(name) < 2**32
+
+
+class TestStringTable:
+    def test_interning_is_idempotent(self):
+        strings = StringTable()
+        first = strings.add("malloc")
+        second = strings.add("malloc")
+        assert first == second
+        assert len(strings) == 1
+
+    def test_leading_nul_reserved(self):
+        strings = StringTable()
+        assert strings.add("a") == 1
+
+    def test_size_accounts_nul_terminators(self):
+        strings = StringTable()
+        strings.add("ab")
+        strings.add("cde")
+        assert strings.size_bytes == 1 + 3 + 4
+
+    def test_offset_of_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            StringTable().offset_of("nope")
+
+
+class TestSymbolTable:
+    def _table(self, names=("f", "g", "h")):
+        table = SymbolTable()
+        for i, name in enumerate(names):
+            table.add(
+                Symbol(name=name, kind=SymbolKind.FUNCTION, value=i * 64, size=64)
+            )
+        return table
+
+    def test_indices_are_one_based(self):
+        table = SymbolTable()
+        index = table.add(
+            Symbol(name="f", kind=SymbolKind.FUNCTION, value=0, size=1)
+        )
+        assert index == 1
+        assert table.at(1).name == "f"
+
+    def test_duplicate_rejected(self):
+        table = self._table()
+        with pytest.raises(ConfigError):
+            table.add(Symbol(name="f", kind=SymbolKind.FUNCTION, value=0, size=1))
+
+    def test_oracle_get(self):
+        table = self._table()
+        assert table.get("g").value == 64
+        assert table.get("nope") is None
+
+    def test_hash_chains_cover_all_symbols(self):
+        table = self._table(names=[f"sym_{i}" for i in range(50)])
+        found = set()
+        for bucket in range(table.nbuckets):
+            for index in table.chain(bucket):
+                found.add(table.at(index).name)
+        assert len(found) == 50
+
+    def test_bucket_of_matches_chain(self):
+        table = self._table(names=[f"sym_{i}" for i in range(20)])
+        for symbol in table.symbols():
+            bucket = table.bucket_of(symbol.name)
+            names = [table.at(i).name for i in table.chain(bucket)]
+            assert symbol.name in names
+
+    def test_byte_sizes(self):
+        table = self._table()
+        assert table.symtab_bytes == 4 * SYMBOL_ENTRY_BYTES  # incl. slot 0
+        assert table.strtab_bytes == 1 + 2 + 2 + 2
+        assert table.hash_bytes == 8 + 4 * (table.nbuckets + 4)
+
+    def test_entry_offsets(self):
+        table = self._table()
+        assert table.symbol_entry_offset(2) == 2 * SYMBOL_ENTRY_BYTES
+        with pytest.raises(ConfigError):
+            table.symbol_entry_offset(99)
+
+    def test_symbol_validation(self):
+        with pytest.raises(ConfigError):
+            Symbol(name="", kind=SymbolKind.FUNCTION, value=0, size=0)
+        with pytest.raises(ConfigError):
+            Symbol(name="x", kind=SymbolKind.FUNCTION, value=-1, size=0)
+
+
+class TestSections:
+    def test_file_layout_orders_alloc_first(self):
+        table = SectionTable()
+        table.set(SectionKind.TEXT, 1000)
+        table.set(SectionKind.DEBUG, 5000)
+        layout = table.file_layout()
+        assert layout[SectionKind.TEXT][0] < layout[SectionKind.DEBUG][0]
+
+    def test_layout_starts_after_headers(self):
+        table = SectionTable()
+        table.set(SectionKind.TEXT, 10)
+        assert table.file_layout()[SectionKind.TEXT][0] == 4096
+
+    def test_file_bytes(self):
+        table = SectionTable()
+        table.set(SectionKind.TEXT, 100)
+        table.set(SectionKind.DATA, 50)
+        assert table.file_bytes == 4096 + 100 + 50
+
+    def test_alloc_and_tool_bytes(self):
+        table = SectionTable()
+        table.set(SectionKind.TEXT, 100)
+        table.set(SectionKind.DEBUG, 200)
+        table.set(SectionKind.SYMTAB, 48)
+        assert table.alloc_bytes == 100
+        assert table.tool_bytes == 248
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SectionTable().set(SectionKind.TEXT, -1)
+
+
+class TestRelocations:
+    def test_kinds(self):
+        reloc = Relocation(symbol="malloc", kind=RelocationKind.JMP_SLOT, slot=0)
+        assert reloc.kind is RelocationKind.JMP_SLOT
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Relocation(symbol="", kind=RelocationKind.GLOB_DAT, slot=0)
+        with pytest.raises(ConfigError):
+            Relocation(symbol="x", kind=RelocationKind.GLOB_DAT, slot=-1)
+
+
+class TestSharedObject:
+    def _object(self):
+        shared = SharedObject(soname="libx.so", path="/nfs/libx.so")
+        shared.add_symbol(
+            Symbol(name="fn_a", kind=SymbolKind.FUNCTION, value=0, size=128)
+        )
+        shared.add_plt_relocation("malloc")
+        shared.add_data_relocation("stdout")
+        shared.finalize_sections(text_bytes=128, data_bytes=64, debug_bytes=256)
+        return shared
+
+    def test_plt_slots_are_per_symbol(self):
+        shared = SharedObject(soname="l", path="/l")
+        first = shared.add_plt_relocation("malloc")
+        second = shared.add_plt_relocation("malloc")
+        assert first is second
+        assert len(shared.plt_relocations) == 1
+
+    def test_plt_lookup(self):
+        shared = self._object()
+        assert shared.plt_relocation_for("malloc").symbol == "malloc"
+        assert shared.calls_externally("malloc")
+        with pytest.raises(LinkError):
+            shared.plt_relocation_for("free")
+
+    def test_finalize_fills_sections(self):
+        shared = self._object()
+        assert shared.sections.size(SectionKind.TEXT) == 128
+        assert shared.sections.size(SectionKind.DYNSYM) == 2 * SYMBOL_ENTRY_BYTES
+        assert shared.sections.size(SectionKind.SYMTAB) > 0
+
+    def test_publish_creates_extents(self):
+        shared = self._object()
+        image = shared.publish(NFSServer())
+        assert image.path == "/nfs/libx.so"
+        for kind in ALLOC_SECTIONS:
+            if shared.sections.size(kind):
+                assert kind.value in image.extents
+
+    def test_executable_is_shared_object(self):
+        exe = Executable(soname="a.out", path="/a.out")
+        assert isinstance(exe, SharedObject)
+
+
+class TestLinkMap:
+    def _loaded(self, soname="libx.so"):
+        shared = SharedObject(soname=soname, path=f"/{soname}")
+        shared.add_symbol(
+            Symbol(name=f"{soname}_fn", kind=SymbolKind.FUNCTION, value=0, size=16)
+        )
+        shared.finalize_sections(text_bytes=64, data_bytes=16, debug_bytes=16)
+        obj = LoadedObject(shared_object=shared)
+        obj.section_bases[SectionKind.TEXT] = 0x1000
+        obj.section_bases[SectionKind.DATA] = 0x2000
+        return obj
+
+    def test_add_and_find(self):
+        link_map = LinkMap()
+        obj = self._loaded()
+        link_map.add(obj, global_scope=True)
+        assert link_map.find("libx.so") is obj
+        assert "libx.so" in link_map
+        assert link_map.global_scope == [obj]
+        assert link_map.load_events == 1
+
+    def test_duplicate_add_rejected(self):
+        link_map = LinkMap()
+        link_map.add(self._loaded(), global_scope=False)
+        with pytest.raises(ConfigError):
+            link_map.add(self._loaded(), global_scope=False)
+
+    def test_local_object_not_in_global_scope(self):
+        link_map = LinkMap()
+        obj = self._loaded()
+        link_map.add(obj, global_scope=False)
+        assert link_map.global_scope == []
+        assert not obj.in_global_scope
+
+    def test_symbol_value_addr_picks_section(self):
+        obj = self._loaded()
+        func = obj.shared_object.symbol_table.get("libx.so_fn")
+        assert obj.symbol_value_addr(func) == 0x1000
+
+    def test_unmapped_section_raises(self):
+        obj = self._loaded()
+        with pytest.raises(LinkError):
+            obj.base(SectionKind.HASH)
+
+    def test_fully_bound(self):
+        obj = self._loaded()
+        assert obj.fully_bound  # no PLT relocations at all
+        obj.shared_object.add_plt_relocation("malloc")
+        assert not obj.fully_bound
+        obj.plt_resolved.add("malloc")
+        assert obj.fully_bound

@@ -1,0 +1,321 @@
+"""Extensions beyond the minimal reproduction: GNU hash, unloading,
+staging strategies, body memory profiles, extra MPI surface, CLI tools."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import presets
+from repro.core.builds import BuildMode, build_benchmark
+from repro.core.generator import generate
+from repro.core.runner import BenchmarkRunner
+from repro.elf.symbols import HashStyle, Symbol, SymbolKind, SymbolTable, gnu_hash
+from repro.errors import CommunicatorError, ConfigError, LinkError
+from repro.fs.nfs import NFSServer
+from repro.fs.staging import StagingStrategy, compare_strategies, staging_seconds
+from repro.harness.cli import main
+from repro.linker.dynamic import DynamicLinker
+from repro.machine.context import ExecutionContext
+from repro.machine.node import Node
+from repro.mpi.api import SUM
+from repro.mpi.communicator import Communicator
+
+
+class TestGnuHash:
+    def _table(self, names, style=HashStyle.GNU):
+        table = SymbolTable(hash_style=style)
+        for i, name in enumerate(names):
+            table.add(Symbol(name=name, kind=SymbolKind.FUNCTION, value=i, size=8))
+        return table
+
+    def test_gnu_hash_reference_value(self):
+        # dl_new_hash("") == 5381, dl_new_hash("a") == 5381*33 + ord('a').
+        assert gnu_hash("") == 5381
+        assert gnu_hash("a") == (5381 * 33 + ord("a")) & 0xFFFFFFFF
+
+    def test_bloom_never_false_negative(self):
+        names = [f"sym_{i}" for i in range(200)]
+        table = self._table(names)
+        for name in names:
+            assert table.bloom_maybe_contains(name)
+
+    def test_bloom_rejects_most_absent_names(self):
+        table = self._table([f"sym_{i}" for i in range(64)])
+        rejected = sum(
+            1
+            for i in range(500)
+            if not table.bloom_maybe_contains(f"absent_{i}_xyz")
+        )
+        assert rejected > 250  # Bloom filters allow some false positives
+
+    def test_bloom_requires_gnu_style(self):
+        table = self._table(["a"], style=HashStyle.SYSV)
+        with pytest.raises(ConfigError):
+            table.bloom_maybe_contains("a")
+
+    def test_gnu_hash_section_bigger_than_sysv(self):
+        names = [f"sym_{i}" for i in range(100)]
+        sysv = self._table(names, style=HashStyle.SYSV)
+        gnu = self._table(names, style=HashStyle.GNU)
+        assert gnu.hash_bytes > sysv.hash_bytes  # bloom words + header
+
+    def test_gnu_resolution_still_correct(self, tiny_spec):
+        """End to end: a GNU-hash build runs and binds identically."""
+        sysv = BenchmarkRunner(
+            spec=tiny_spec, mode=BuildMode.LINKED, hash_style=HashStyle.SYSV
+        ).run().report
+        gnu = BenchmarkRunner(
+            spec=tiny_spec, mode=BuildMode.LINKED, hash_style=HashStyle.GNU
+        ).run().report
+        assert gnu.lazy_fixups == sysv.lazy_fixups
+        assert gnu.functions_visited == sysv.functions_visited
+
+    def test_gnu_makes_linked_visit_cheaper(self):
+        config = replace(presets.tiny(), n_modules=8, n_utilities=6, avg_functions=30)
+        spec = generate(config)
+        sysv = BenchmarkRunner(
+            spec=spec, mode=BuildMode.LINKED, hash_style=HashStyle.SYSV
+        ).run().report
+        gnu = BenchmarkRunner(
+            spec=spec, mode=BuildMode.LINKED, hash_style=HashStyle.GNU
+        ).run().report
+        assert gnu.visit_s < sysv.visit_s
+        assert (
+            gnu.counters["visit"].l1d_misses < sysv.counters["visit"].l1d_misses
+        )
+
+
+class TestUnloading:
+    def _world(self):
+        from tests.test_linker import _make_world
+
+        exe, registry = _make_world()
+        process = Node().spawn()
+        ctx = ExecutionContext(process)
+        linker = DynamicLinker(registry)
+        linker.start_program(process, exe, ctx)
+        return linker, process, ctx
+
+    def test_last_close_unloads(self):
+        linker, process, ctx = self._world()
+        handle = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        assert "libplugin.so" in process.link_map
+        linker.dlclose(process, handle)
+        assert "libplugin.so" not in process.link_map
+        assert process.link_map.unload_events >= 1
+        assert linker.unloads >= 1
+
+    def test_unload_cascades_to_unused_deps(self):
+        linker, process, ctx = self._world()
+        handle = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        assert "libutil.so" in process.link_map
+        linker.dlclose(process, handle)
+        assert "libutil.so" not in process.link_map
+
+    def test_startup_objects_survive(self):
+        linker, process, ctx = self._world()
+        handle = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        linker.dlclose(process, handle)
+        # libbase is in the startup set: still mapped.
+        assert "libbase.so" in process.link_map
+
+    def test_refcounted_close_does_not_unload(self):
+        linker, process, ctx = self._world()
+        first = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        second = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        assert first is second
+        linker.dlclose(process, first)
+        assert "libplugin.so" in process.link_map
+
+    def test_reopen_after_unload_reloads_and_rebinds(self):
+        linker, process, ctx = self._world()
+        handle = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        linker.dlclose(process, handle)
+        reopened = linker.dlopen(process, ctx, "libplugin.so", now=True)
+        assert reopened is not handle
+        assert reopened.fully_bound
+        assert linker.dlopen_new >= 2
+
+
+class TestStaging:
+    def test_independent_degrades_linearly(self):
+        t16 = staging_seconds(1 << 30, 500, 16, StagingStrategy.INDEPENDENT)
+        t256 = staging_seconds(1 << 30, 500, 256, StagingStrategy.INDEPENDENT)
+        assert t256 > 10 * t16
+
+    def test_collective_is_nearly_flat(self):
+        t16 = staging_seconds(1 << 30, 500, 16, StagingStrategy.COLLECTIVE)
+        t1024 = staging_seconds(1 << 30, 500, 1024, StagingStrategy.COLLECTIVE)
+        assert t1024 < 2 * t16
+
+    def test_collective_beats_independent_at_scale(self):
+        comparison = compare_strategies(1 << 30, 500, [256])
+        assert (
+            comparison[StagingStrategy.COLLECTIVE][256]
+            < comparison[StagingStrategy.INDEPENDENT][256] / 10
+        )
+
+    def test_single_node_collective_has_no_fanout(self):
+        nfs = NFSServer()
+        read_only = nfs.read_seconds(1 << 20, n_ops=10)
+        assert staging_seconds(
+            1 << 20, 10, 1, StagingStrategy.COLLECTIVE
+        ) == pytest.approx(read_only)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            staging_seconds(-1, 10, 4, StagingStrategy.INDEPENDENT)
+        with pytest.raises(ConfigError):
+            staging_seconds(100, 0, 4, StagingStrategy.INDEPENDENT)
+
+
+class TestBodyMemoryProfile:
+    def test_footprint_adds_visit_misses(self):
+        base = replace(presets.tiny(), memory_bytes_per_function=0)
+        heavy = replace(base, memory_bytes_per_function=4096)
+        lean_report = BenchmarkRunner(config=base, mode=BuildMode.VANILLA).run().report
+        heavy_report = BenchmarkRunner(
+            config=heavy, mode=BuildMode.VANILLA
+        ).run().report
+        assert (
+            heavy_report.counters["visit"].l1d_misses
+            > 5 * max(1, lean_report.counters["visit"].l1d_misses)
+        )
+
+    def test_footprint_grows_data_section(self):
+        from repro.elf.sections import SectionKind
+
+        base = generate(replace(presets.tiny(), memory_bytes_per_function=0))
+        heavy = generate(replace(presets.tiny(), memory_bytes_per_function=2048))
+        nfs = NFSServer()
+        base_build = build_benchmark(base, nfs, BuildMode.VANILLA)
+        heavy_build = build_benchmark(heavy, nfs, BuildMode.VANILLA)
+        base_data = sum(
+            o.sections.size(SectionKind.DATA) for o in base_build.generated_objects
+        )
+        heavy_data = sum(
+            o.sections.size(SectionKind.DATA) for o in heavy_build.generated_objects
+        )
+        assert heavy_data > base_data
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            replace(presets.tiny(), memory_bytes_per_function=-1)
+
+
+class TestExtendedMpi:
+    def test_reduce_at_root(self):
+        comm = Communicator(size=4)
+        result, seconds = comm.reduce([1, 2, 3, 4], SUM)
+        assert result == 10
+        assert seconds > 0
+
+    def test_gather_scatter_round_trip(self):
+        comm = Communicator(size=4)
+        gathered, _ = comm.gather([10, 20, 30, 40])
+        assert gathered == [10, 20, 30, 40]
+        scattered, _ = comm.scatter(gathered)
+        assert scattered == [10, 20, 30, 40]
+
+    def test_split_by_color(self):
+        comm = Communicator(size=8)
+        colors = [0, 1, 0, 1, 0, 1, 0, 1]
+        evens = comm.split(colors, key_rank=0)
+        odds = comm.split(colors, key_rank=1)
+        assert evens.size == 4
+        assert odds.size == 4
+        assert evens.context_id != comm.context_id
+
+    def test_sendrecv(self):
+        comm = Communicator(size=2)
+        assert comm.sendrecv([1.0] * 16) > 0
+
+    def test_sendrecv_needs_two_ranks(self):
+        with pytest.raises(CommunicatorError):
+            Communicator(size=1).sendrecv(1)
+
+    def test_split_validates(self):
+        with pytest.raises(CommunicatorError):
+            Communicator(size=4).split([0, 0], key_rank=0)  # wrong length
+
+
+class TestCliTools:
+    def test_generate_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "tree"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--modules",
+                    "3",
+                    "--utilities",
+                    "2",
+                    "--avg-functions",
+                    "8",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert (out / "pynamic_driver.py").exists()
+        assert (out / "Makefile").exists()
+        assert len(list(out.glob("module_*.c"))) == 3
+
+    def test_generate_is_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for out in (a, b):
+            main(
+                [
+                    "generate",
+                    "--modules",
+                    "2",
+                    "--utilities",
+                    "1",
+                    "--avg-functions",
+                    "6",
+                    "--seed",
+                    "123",
+                    "--out",
+                    str(out),
+                ]
+            )
+        assert (a / "module_0000.c").read_text() == (
+            b / "module_0000.c"
+        ).read_text()
+
+    def test_sizes_subcommand(self, capsys):
+        assert (
+            main(
+                [
+                    "sizes",
+                    "--modules",
+                    "280",
+                    "--utilities",
+                    "215",
+                    "--avg-functions",
+                    "1850",
+                    "--name-length",
+                    "236",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "String Table" in out
+
+
+class TestNewExperiments:
+    def test_staging_experiment(self):
+        from repro.harness.experiments import run_experiment
+
+        result = run_experiment("staging_strategies")
+        assert result.metrics["independent_over_collective_at_scale"] > 50
+
+    def test_hash_style_registered(self):
+        from repro.harness.experiments import all_experiment_names
+
+        names = all_experiment_names()
+        assert "ablation_hash_style" in names
+        assert "ablation_body_memory" in names
+        assert "staging_strategies" in names

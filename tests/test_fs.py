@@ -1,0 +1,152 @@
+"""Simulated storage: files, NFS contention, parallel FS, buffer cache."""
+
+import pytest
+
+from repro.errors import ConfigError, FileNotFoundInStoreError, FileSystemError
+from repro.fs.buffercache import BufferCache
+from repro.fs.files import FileImage, FileStore
+from repro.fs.nfs import NFSServer
+from repro.fs.parallelfs import ParallelFileSystem
+
+
+class TestFileImages:
+    def test_extents_validated(self):
+        with pytest.raises(FileSystemError):
+            FileImage(
+                path="/x",
+                size_bytes=100,
+                filesystem=NFSServer(),
+                extents={"bad": (90, 20)},
+            )
+
+    def test_add_and_get_extent(self):
+        image = FileImage(path="/x", size_bytes=1000, filesystem=NFSServer())
+        image.add_extent(".text", 0, 500)
+        assert image.extent(".text") == (0, 500)
+
+    def test_missing_extent_raises(self):
+        image = FileImage(path="/x", size_bytes=10, filesystem=NFSServer())
+        with pytest.raises(FileSystemError):
+            image.extent(".debug")
+
+    def test_store_roundtrip(self):
+        store = FileStore()
+        image = FileImage(path="/a", size_bytes=10, filesystem=NFSServer())
+        store.add(image)
+        assert store.get("/a") is image
+        assert "/a" in store
+        assert len(store) == 1
+        assert store.total_bytes() == 10
+
+    def test_store_missing_path(self):
+        with pytest.raises(FileNotFoundInStoreError):
+            FileStore().get("/nope")
+
+
+class TestNFS:
+    def test_contention_divides_bandwidth(self):
+        nfs = NFSServer(bandwidth_bps=100e6, latency_s=0.0)
+        alone = nfs.read_seconds(100_000_000)
+        nfs.set_concurrency(10)
+        contended = nfs.read_seconds(100_000_000)
+        assert contended == pytest.approx(alone * 10)
+
+    def test_latency_per_op(self):
+        nfs = NFSServer(bandwidth_bps=1e12, latency_s=0.001)
+        assert nfs.read_seconds(0, n_ops=5) == pytest.approx(0.005)
+
+    def test_queueing_beyond_cap(self):
+        nfs = NFSServer(latency_s=0.001, max_concurrency=8)
+        nfs.set_concurrency(16)
+        assert nfs.read_seconds(0, n_ops=1) == pytest.approx(0.002)
+
+    def test_statistics(self):
+        nfs = NFSServer()
+        nfs.read_seconds(1000, n_ops=2)
+        assert nfs.bytes_served == 1000
+        assert nfs.requests_served == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            NFSServer(bandwidth_bps=0)
+        with pytest.raises(ConfigError):
+            NFSServer().set_concurrency(0)
+
+
+class TestParallelFS:
+    def test_scales_until_targets_saturate(self):
+        pfs = ParallelFileSystem(aggregate_bandwidth_bps=160e6, n_targets=16)
+        pfs.set_concurrency(8)
+        below = pfs.effective_bandwidth_bps()
+        pfs.set_concurrency(16)
+        at_cap = pfs.effective_bandwidth_bps()
+        assert below == at_cap  # full stripe each until cap
+        pfs.set_concurrency(32)
+        assert pfs.effective_bandwidth_bps() == pytest.approx(at_cap / 2)
+
+    def test_beats_nfs_at_scale(self):
+        nfs = NFSServer()
+        pfs = ParallelFileSystem()
+        nfs.set_concurrency(256)
+        pfs.set_concurrency(256)
+        assert nfs.read_seconds(10_000_000) > pfs.read_seconds(10_000_000)
+
+
+class TestBufferCache:
+    def _image(self, size=64 * 1024):
+        return FileImage(path="/lib.so", size_bytes=size, filesystem=NFSServer())
+
+    def test_cold_then_warm(self):
+        cache = BufferCache()
+        image = self._image()
+        cold = cache.read(image)
+        warm = cache.read(image)
+        assert cold > warm
+        assert cache.contains(image)
+
+    def test_partial_residency(self):
+        cache = BufferCache()
+        image = self._image()
+        cache.read(image, 0, 4096)
+        assert cache.contains(image, 0, 4096)
+        assert not cache.contains(image, 8192, 4096)
+
+    def test_lru_eviction_under_pressure(self):
+        cache = BufferCache(capacity_bytes=8 * 4096)
+        image = self._image(size=16 * 4096)
+        cache.read(image)  # 16 pages through an 8-page cache
+        assert not cache.contains(image, 0, 4096)  # oldest evicted
+        assert cache.contains(image, 15 * 4096, 4096)
+
+    def test_drop(self):
+        cache = BufferCache()
+        image = self._image()
+        cache.read(image)
+        cache.drop()
+        assert not cache.contains(image)
+        assert cache.resident_bytes() == 0
+
+    def test_counters(self):
+        cache = BufferCache()
+        image = self._image(size=2 * 4096)
+        cache.read(image)
+        cache.read(image)
+        assert cache.misses == 2
+        assert cache.hits == 2
+        cache.reset_counters()
+        assert cache.misses == 0
+
+    def test_out_of_range_read_rejected(self):
+        cache = BufferCache()
+        with pytest.raises(ConfigError):
+            cache.read(self._image(size=100), 50, 100)
+
+    def test_zero_read_is_free(self):
+        cache = BufferCache()
+        assert cache.read(self._image(), 0, 0) == 0.0
+
+    def test_misses_charged_to_backing_fs(self):
+        nfs = NFSServer()
+        image = FileImage(path="/x", size_bytes=4096, filesystem=nfs)
+        BufferCache().read(image)
+        assert nfs.bytes_served >= 4096

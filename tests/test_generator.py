@@ -1,0 +1,210 @@
+"""The Pynamic generator: Section III semantics, reproducibility."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import PynamicConfig
+from repro.core.generator import _chain_callee_index, _pad_name, generate
+from repro.core import presets
+from repro.errors import ConfigError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        PynamicConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_modules": 0},
+            {"n_utilities": -1},
+            {"avg_functions": 0},
+            {"functions_spread": 1.0},
+            {"max_depth": 0},
+            {"utility_call_probability": 1.5},
+            {"coverage": 0.0},
+            {"coverage": 1.5},
+            {"name_length": -1},
+            {"avg_body_instructions": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            PynamicConfig(**kwargs)
+
+    def test_scaled_preserves_structure(self):
+        config = presets.llnl_multiphysics()
+        scaled = config.scaled(0.1)
+        assert scaled.n_modules == 28
+        assert scaled.n_utilities == 22  # round(21.5)
+        assert scaled.max_depth == config.max_depth
+        assert scaled.seed == config.seed
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            PynamicConfig().scaled(0)
+
+    def test_utility_functions_default_to_modules(self):
+        config = PynamicConfig(avg_functions=77)
+        assert config.utility_functions_average == 77
+        config = PynamicConfig(avg_functions=77, avg_utility_functions=33)
+        assert config.utility_functions_average == 33
+
+    def test_n_libraries(self):
+        assert PynamicConfig(n_modules=3, n_utilities=4).n_libraries == 7
+
+
+class TestChainStructure:
+    """Section III: entry calls every tenth function; each calls the next
+    until depth ten, then control returns to the entry."""
+
+    def test_within_chain_calls_next(self):
+        assert _chain_callee_index(0, 100, 10) == 1
+        assert _chain_callee_index(8, 100, 10) == 9
+
+    def test_chain_tail_returns(self):
+        assert _chain_callee_index(9, 100, 10) is None
+        assert _chain_callee_index(19, 100, 10) is None
+
+    def test_last_function_returns(self):
+        assert _chain_callee_index(99, 100, 10) is None
+        assert _chain_callee_index(94, 95, 10) is None
+
+    def test_generated_chains_have_depth_max(self, tiny_spec):
+        config = tiny_spec.config
+        for module in tiny_spec.modules:
+            for head in module.chain_heads:
+                length = 0
+                name = head
+                while name is not None:
+                    length += 1
+                    name = module.function_by_name[name].internal_callee
+                assert length <= config.max_depth
+
+    def test_chains_cover_all_functions_at_full_coverage(self, tiny_spec):
+        """With coverage=1.0 every function is reachable from the entry."""
+        for module in tiny_spec.modules:
+            visited = set()
+            for head in module.chain_heads:
+                name = head
+                while name is not None:
+                    visited.add(name)
+                    name = module.function_by_name[name].internal_callee
+            assert visited == {f.name for f in module.functions}
+
+    def test_heads_every_depth(self, tiny_spec):
+        config = tiny_spec.config
+        for module in tiny_spec.modules:
+            expected = len(range(0, module.n_functions, config.max_depth))
+            assert len(module.chain_heads) == expected
+
+
+class TestReproducibility:
+    def test_same_seed_same_benchmark(self, tiny_config):
+        assert generate(tiny_config) == generate(tiny_config)
+
+    def test_different_seed_differs(self, tiny_config):
+        other = replace(tiny_config, seed=tiny_config.seed + 1)
+        assert generate(tiny_config) != generate(other)
+
+    def test_function_counts_vary_around_average(self):
+        config = PynamicConfig(
+            n_modules=30, n_utilities=0, avg_functions=100, functions_spread=0.2
+        )
+        spec = generate(config)
+        counts = [m.n_functions for m in spec.modules]
+        assert min(counts) >= 80 and max(counts) <= 120
+        assert len(set(counts)) > 1  # they actually vary
+
+
+class TestGeneratedStructure:
+    def test_counts_match_config(self, tiny_spec, tiny_config):
+        assert len(tiny_spec.modules) == tiny_config.n_modules
+        assert len(tiny_spec.utilities) == tiny_config.n_utilities
+
+    def test_entry_and_init_names(self, tiny_spec):
+        for module in tiny_spec.modules:
+            assert module.entry_name
+            assert module.init_name.startswith("init")
+
+    def test_cross_module_function_generated(self, tiny_spec):
+        assert all(m.cross_name is not None for m in tiny_spec.modules)
+
+    def test_cross_disabled(self, tiny_config):
+        spec = generate(replace(tiny_config, enable_cross_module=False))
+        assert all(m.cross_name is None for m in spec.modules)
+        for module in spec.modules:
+            for func in module.functions:
+                assert func.cross_module_calls == ()
+
+    def test_utility_calls_reference_real_functions(self, tiny_spec):
+        utility_functions = {
+            f.name for u in tiny_spec.utilities for f in u.functions
+        }
+        for module in tiny_spec.modules:
+            for func in module.functions:
+                for callee in func.utility_calls:
+                    assert callee in utility_functions
+
+    def test_utility_deps_match_calls(self, tiny_spec):
+        for module in tiny_spec.modules:
+            called = {
+                callee
+                for func in module.functions
+                for callee in func.utility_calls
+            }
+            for callee in called:
+                owner = next(
+                    u.soname
+                    for u in tiny_spec.utilities
+                    if callee in u.function_by_name
+                )
+                assert owner in module.utility_deps
+
+    def test_module_deps_match_cross_calls(self, tiny_spec):
+        cross_owner = {
+            m.cross_name: m.soname for m in tiny_spec.modules if m.cross_name
+        }
+        for module in tiny_spec.modules:
+            for func in module.functions:
+                for callee in func.cross_module_calls:
+                    assert cross_owner[callee] in module.module_deps
+
+    def test_unique_function_names_across_benchmark(self, tiny_spec):
+        names = [
+            f.name
+            for lib in (*tiny_spec.modules, *tiny_spec.utilities)
+            for f in lib.functions
+        ]
+        assert len(names) == len(set(names))
+
+    def test_coverage_limits_chain_heads(self, tiny_config):
+        full = generate(tiny_config)
+        partial = generate(replace(tiny_config, coverage=0.3))
+        full_heads = sum(len(m.chain_heads) for m in full.modules)
+        partial_heads = sum(len(m.chain_heads) for m in partial.modules)
+        assert partial_heads < full_heads
+
+    def test_name_length_padding(self):
+        config = PynamicConfig(
+            n_modules=1, n_utilities=1, avg_functions=5, name_length=96, seed=1
+        )
+        spec = generate(config)
+        for func in spec.modules[0].functions:
+            assert len(func.name) == 96
+
+    def test_pad_name_short_target_is_noop(self):
+        assert _pad_name("abcdef", 3) == "abcdef"
+
+    def test_system_libs_present(self, tiny_spec):
+        sonames = {lib.soname for lib in tiny_spec.system_libs}
+        assert "libc.so.6" in sonames
+        assert "libpython2.5.so.1.0" in sonames
+        assert "libmpi.so.1" in sonames
+
+    def test_spec_lookup_helpers(self, tiny_spec):
+        module = tiny_spec.modules[0]
+        assert tiny_spec.module(module.name) is module
+        with pytest.raises(Exception):
+            tiny_spec.module("ghost")

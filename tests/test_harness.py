@@ -1,0 +1,88 @@
+"""The experiment harness: registry, CLI, fast experiments end-to-end."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.cli import build_parser, main
+from repro.harness.experiments import (
+    ExperimentResult,
+    all_experiment_names,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = all_experiment_names()
+        for expected in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "costmodel",
+            "scaling_dlls",
+            "scaling_dll_size",
+            "scaling_nfs",
+            "ablation_coverage",
+            "ablation_randomization",
+            "ablation_name_length",
+        ):
+            assert expected in names
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("table99")
+
+    def test_result_render(self):
+        result = ExperimentResult(name="x", paper_reference="Table 0")
+        result.add_table("t", ["a"], [["v"]])
+        result.notes.append("note text")
+        text = result.render()
+        assert "Table 0" in text and "note text" in text
+
+
+class TestFastExperiments:
+    """The experiments that run in well under a second."""
+
+    def test_table3(self):
+        result = run_experiment("table3")
+        # The Pynamic-model column must land close to the paper's.
+        for key, value in result.metrics.items():
+            if key.startswith("rel_err_"):
+                assert value < 0.10, f"{key} off by {value:.2%}"
+        assert result.metrics["analytic_vs_exact_error"] < 0.05
+
+    def test_costmodel(self):
+        result = run_experiment("costmodel")
+        assert result.metrics["minutes_with_reinsertion"] == pytest.approx(
+            83.3, abs=0.5
+        )
+        assert (
+            result.metrics["ptrace_event_reinsert_s"]
+            > result.metrics["ptrace_event_plain_s"]
+        )
+
+    def test_scaling_nfs(self):
+        result = run_experiment("scaling_nfs")
+        assert result.metrics["nfs_over_pfs_at_1024"] > 10
+        assert result.metrics["nfs_degradation_16_to_1024"] > 10
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table4" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "costmodel"]) == 0
+        out = capsys.readouterr().out
+        assert "83" in out
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(ConfigError):
+            main(["run", "bogus"])

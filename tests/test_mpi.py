@@ -1,0 +1,151 @@
+"""The pyMPI-like layer: network model, serialization, collectives."""
+
+import pytest
+
+from repro.errors import CommunicatorError, ConfigError
+from repro.machine.cluster import Cluster
+from repro.machine.context import ExecutionContext
+from repro.mpi.api import MAX, MIN, PROD, SUM, MpiSession
+from repro.mpi.communicator import Communicator
+from repro.mpi.network import NetworkModel
+from repro.mpi.serialization import is_native, serialize
+
+
+class TestNetworkModel:
+    def test_point_to_point(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_bps=1e9)
+        assert net.point_to_point_seconds(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_single_task_collectives_free(self):
+        net = NetworkModel()
+        assert net.allreduce_seconds(1, 8) == 0.0
+        assert net.bcast_seconds(1, 8) == 0.0
+        assert net.barrier_seconds(1) == 0.0
+
+    def test_allreduce_log_scaling(self):
+        net = NetworkModel()
+        t32 = net.allreduce_seconds(32, 8)
+        t1024 = net.allreduce_seconds(1024, 8)
+        assert t1024 == pytest.approx(t32 * 2)  # log2: 5 -> 10 rounds
+
+    def test_allreduce_twice_bcast(self):
+        net = NetworkModel()
+        assert net.allreduce_seconds(64, 8) == pytest.approx(
+            2 * net.bcast_seconds(64, 8)
+        )
+
+    def test_ring(self):
+        net = NetworkModel()
+        assert net.ring_seconds(1, 100) == 0.0
+        assert net.ring_seconds(8, 100) == pytest.approx(
+            8 * net.point_to_point_seconds(100)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(bandwidth_bps=0)
+        with pytest.raises(ConfigError):
+            NetworkModel().point_to_point_seconds(-1)
+        with pytest.raises(ConfigError):
+            NetworkModel().allreduce_seconds(0, 8)
+
+
+class TestSerialization:
+    def test_native_scalars(self):
+        for value in (1, 3.5, True):
+            assert is_native(value)
+            message = serialize(value)
+            assert not message.used_pickle
+            assert message.payload_bytes == 8
+
+    def test_native_lists(self):
+        message = serialize([1.0, 2.0, 3.0])
+        assert not message.used_pickle
+        assert message.payload_bytes == 24
+
+    def test_pickle_fallback_for_dicts(self):
+        message = serialize({"dt": 0.1})
+        assert message.used_pickle
+        assert message.payload_bytes > 8
+
+    def test_pickle_fallback_for_mixed_lists(self):
+        assert serialize([1, "two"]).used_pickle
+
+    def test_empty_list_pickles(self):
+        assert serialize([]).used_pickle
+
+    def test_pickle_cpu_cost_scales_with_size(self):
+        small = serialize({"a": 1})
+        big = serialize({f"key_{i}": i for i in range(200)})
+        assert big.cpu_instructions > small.cpu_instructions
+
+
+class TestCommunicator:
+    def test_allreduce_matches_reduce_semantics(self):
+        comm = Communicator(size=5)
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        result, seconds = comm.allreduce(values, MIN)
+        assert result == 1.0
+        assert seconds > 0
+
+    def test_sum_and_prod_ops(self):
+        comm = Communicator(size=4)
+        assert comm.allreduce([1, 2, 3, 4], SUM)[0] == 10
+        assert comm.allreduce([1, 2, 3, 4], PROD)[0] == 24
+        assert comm.allreduce([1, 2, 3, 4], MAX)[0] == 4
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Communicator(size=3).allreduce([1, 2], SUM)
+
+    def test_bcast(self):
+        comm = Communicator(size=8)
+        value, seconds = comm.bcast({"x": 1})
+        assert value == {"x": 1}
+        assert seconds > 0
+
+    def test_bcast_bad_root(self):
+        with pytest.raises(CommunicatorError):
+            Communicator(size=2).bcast(1, root=5)
+
+    def test_dup_gets_fresh_context(self):
+        comm = Communicator(size=4)
+        dup = comm.dup()
+        assert dup.size == comm.size
+        assert dup.context_id != comm.context_id
+
+    def test_comm_seconds_accumulate(self):
+        comm = Communicator(size=16)
+        comm.barrier()
+        comm.allreduce(list(range(16)), SUM)
+        assert comm.comm_seconds > 0
+
+    def test_size_validation(self):
+        with pytest.raises(CommunicatorError):
+            Communicator(size=0)
+
+
+class TestMpiSession:
+    def test_selftest_advances_clock(self):
+        cluster = Cluster(n_nodes=2)
+        session = MpiSession(cluster=cluster, n_tasks=16)
+        ctx = ExecutionContext(cluster.nodes[0].spawn())
+        before = ctx.seconds
+        session.run_selftest(ctx)
+        assert ctx.seconds > before
+
+    def test_selftest_single_task(self):
+        session = MpiSession(n_tasks=1)
+        ctx = ExecutionContext(session.cluster.nodes[0].spawn())
+        session.run_selftest(ctx)  # must not raise
+
+    def test_allreduce_steering_idiom(self):
+        session = MpiSession(n_tasks=8)
+        ctx = ExecutionContext(session.cluster.nodes[0].spawn())
+        timesteps = [0.1, 0.2, 0.05, 0.4, 0.3, 0.25, 0.15, 0.09]
+        dt = session.allreduce(ctx, timesteps, MIN)
+        assert dt == 0.05
+
+    def test_task_count_validation(self):
+        with pytest.raises(CommunicatorError):
+            MpiSession(n_tasks=0)

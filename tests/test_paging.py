@@ -1,0 +1,178 @@
+"""Demand paging: faults, read-ahead, text limits, randomization."""
+
+import pytest
+
+from repro.errors import ConfigError, PageFaultError, TextSegmentLimitError
+from repro.fs.files import FileImage
+from repro.fs.nfs import NFSServer
+from repro.machine.context import ExecutionContext
+from repro.machine.node import Node
+from repro.machine.osprofile import aix32, bluegene, linux_chaos
+from repro.machine.paging import AddressSpace
+from repro.rng import SeededRng
+from repro.units import MIB
+
+
+def _aspace(profile=None, rng=None):
+    return AddressSpace(profile=profile or linux_chaos(), rng=rng)
+
+
+class TestMapping:
+    def test_map_returns_page_aligned(self):
+        aspace = _aspace()
+        mapping = aspace.map(100, name="x")
+        assert mapping.start % 4096 == 0
+
+    def test_mappings_do_not_overlap(self):
+        aspace = _aspace()
+        a = aspace.map(10000, name="a")
+        b = aspace.map(10000, name="b")
+        assert b.start >= a.end
+
+    def test_find_mapping(self):
+        aspace = _aspace()
+        mapping = aspace.map(8192, name="x")
+        assert aspace.find_mapping(mapping.start + 5000) is mapping
+
+    def test_find_unmapped_raises(self):
+        aspace = _aspace()
+        with pytest.raises(PageFaultError):
+            aspace.find_mapping(0x1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            _aspace().map(0, name="x")
+
+    def test_mapped_bytes(self):
+        aspace = _aspace()
+        aspace.map(4096, name="a")
+        aspace.map(8192, name="b")
+        assert aspace.mapped_bytes() == 12288
+
+
+class TestFaults:
+    def test_first_touch_faults_once(self):
+        aspace = _aspace()
+        mapping = aspace.map(4096, name="x")
+        assert len(aspace.touch(mapping.start, 100)) == 1
+        assert aspace.touch(mapping.start, 100) == []
+
+    def test_touch_spanning_pages(self):
+        aspace = _aspace()
+        mapping = aspace.map(3 * 4096, name="x")
+        faults = aspace.touch(mapping.start, 3 * 4096)
+        assert len(faults) == 3
+
+    def test_mark_range_present_suppresses_faults(self):
+        aspace = _aspace()
+        mapping = aspace.map(8 * 4096, name="x")
+        aspace.mark_range_present(mapping.start, 8 * 4096)
+        assert aspace.touch(mapping.start, 8 * 4096) == []
+
+    def test_anonymous_fault_is_minor(self):
+        aspace = _aspace()
+        mapping = aspace.map(4096, name="anon")
+        (fault,) = aspace.touch(mapping.start, 1)
+        assert not fault.is_major
+
+    def test_file_backed_fault_is_major(self):
+        aspace = _aspace()
+        image = FileImage(path="/lib.so", size_bytes=65536, filesystem=NFSServer())
+        mapping = aspace.map(8192, name="text", file=image, file_offset=4096)
+        (fault,) = aspace.touch(mapping.start + 4096, 1)
+        assert fault.is_major
+        file, offset, size = fault.file_range(4096)
+        assert file is image
+        assert offset == 8192  # file_offset + page offset within mapping
+        assert size == 4096
+
+
+class TestTextLimit:
+    def test_aix_rejects_oversized_text(self):
+        aspace = _aspace(profile=aix32())
+        aspace.map(200 * MIB, name="t1", is_text=True)
+        with pytest.raises(TextSegmentLimitError) as excinfo:
+            aspace.map(100 * MIB, name="t2", is_text=True)
+        assert excinfo.value.limit_bytes == 256 * MIB
+
+    def test_aix_allows_data_beyond_limit(self):
+        aspace = _aspace(profile=aix32())
+        aspace.map(300 * MIB, name="data", is_text=False)  # no error
+
+    def test_linux_has_no_limit(self):
+        aspace = _aspace()
+        aspace.map(600 * MIB, name="t", is_text=True)
+        assert aspace.text_bytes == 600 * MIB
+
+
+class TestProfiles:
+    def test_bluegene_prefaults_everything(self):
+        aspace = _aspace(profile=bluegene())
+        mapping = aspace.map(10 * 4096, name="x")
+        assert aspace.touch(mapping.start, 10 * 4096) == []
+
+    def test_bluegene_reports_prefault_ranges(self):
+        aspace = _aspace(profile=bluegene())
+        image = FileImage(path="/lib.so", size_bytes=65536, filesystem=NFSServer())
+        aspace.map(8192, name="t", file=image, file_offset=0)
+        ranges = aspace.prefault_ranges()
+        assert ranges == [(image, 0, 8192)]
+
+    def test_randomization_perturbs_layout(self):
+        plain = _aspace()
+        randomized = _aspace(
+            profile=linux_chaos(randomize_load_addresses=True),
+            rng=SeededRng(5),
+        )
+        a = plain.map(4096, name="x").start
+        b = randomized.map(4096, name="x").start
+        # Same request, different placement under randomization.
+        assert a != b
+
+
+class TestContextCharging:
+    def _setup(self, warm=False):
+        node = Node()
+        nfs = NFSServer()
+        image = FileImage(path="/lib.so", size_bytes=1 * MIB, filesystem=nfs)
+        if warm:
+            node.buffer_cache.read(image)
+        process = node.spawn()
+        ctx = ExecutionContext(process)
+        mapping = process.address_space.map(
+            512 * 1024, name="text", file=image, file_offset=0, is_text=True
+        )
+        return node, ctx, mapping
+
+    def test_cold_major_fault_reads_file(self):
+        node, ctx, mapping = self._setup(warm=False)
+        before = node.seconds
+        ctx.ifetch(mapping.start, 64)
+        assert ctx.major_faults == 1
+        assert ctx.major_fault_bytes > 0
+        assert node.seconds > before
+
+    def test_warm_fault_is_soft(self):
+        node, ctx, mapping = self._setup(warm=True)
+        ctx.ifetch(mapping.start, 64)
+        assert ctx.major_faults == 0
+        assert ctx.minor_faults == 1
+
+    def test_readahead_covers_neighbouring_pages(self):
+        node, ctx, mapping = self._setup(warm=False)
+        ctx.dread(mapping.start, 64)
+        majors = ctx.major_faults
+        # Within the 128 KiB read-ahead window: no further major faults.
+        ctx.dread(mapping.start + 64 * 1024, 64)
+        assert ctx.major_faults == majors
+
+    def test_work_advances_clock(self):
+        node, ctx, _ = self._setup()
+        before = node.clock.cycles
+        ctx.work(1000)
+        assert node.clock.cycles == before + 1000
+
+    def test_stall_seconds(self):
+        node, ctx, _ = self._setup()
+        ctx.stall_seconds(0.5)
+        assert node.seconds >= 0.5

@@ -1,0 +1,95 @@
+"""PAPI facade, phase timers, report rendering."""
+
+import pytest
+
+from repro.cache.hierarchy import AccessKind, CacheHierarchy
+from repro.errors import ConfigError
+from repro.machine.clock import SimClock
+from repro.perf.papi import PapiCounters
+from repro.perf.report import render_table
+from repro.perf.timers import PhaseTimer
+
+
+class TestPapi:
+    def test_phase_delta(self):
+        hierarchy = CacheHierarchy()
+        papi = PapiCounters(hierarchy)
+        papi.start("import")
+        hierarchy.access(0, 64, AccessKind.DATA_READ)
+        delta = papi.stop("import")
+        assert delta.l1d_misses == 1
+        assert papi.get("import").l1d_misses == 1
+
+    def test_phases_are_isolated(self):
+        hierarchy = CacheHierarchy()
+        papi = PapiCounters(hierarchy)
+        with papi.phase("a"):
+            hierarchy.access(0, 64, AccessKind.DATA_READ)
+        with papi.phase("b"):
+            pass
+        assert papi.get("a").l1d_accesses == 1
+        assert papi.get("b").l1d_accesses == 0
+
+    def test_double_start_rejected(self):
+        papi = PapiCounters(CacheHierarchy())
+        papi.start("x")
+        with pytest.raises(ConfigError):
+            papi.start("x")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ConfigError):
+            PapiCounters(CacheHierarchy()).stop("never")
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            PapiCounters(CacheHierarchy()).get("never")
+
+
+class TestTimers:
+    def test_measures_clock_delta(self):
+        clock = SimClock(frequency_hz=1000)
+        timer = PhaseTimer(clock)
+        timer.start("visit")
+        clock.add_cycles(500)
+        assert timer.stop("visit") == pytest.approx(0.5)
+
+    def test_accumulates_repeated_phases(self):
+        clock = SimClock(frequency_hz=1000)
+        timer = PhaseTimer(clock)
+        for _ in range(2):
+            with timer.phase("step"):
+                clock.add_cycles(100)
+        assert timer.get("step") == pytest.approx(0.2)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ConfigError):
+            PhaseTimer(SimClock()).stop("never")
+
+    def test_get_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            PhaseTimer(SimClock()).get("never")
+
+
+class TestReport:
+    def test_renders_headers_and_rows(self):
+        text = render_table(
+            ["version", "time"],
+            [["vanilla", 1.5], ["link", 269.4]],
+            title="Table",
+        )
+        assert "Table" in text
+        assert "vanilla" in text
+        assert "269.4" in text
+
+    def test_column_alignment(self):
+        text = render_table(["a", "b"], [["x", 1.0], ["longer", 22.5]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[-2:]}) == 1
+
+    def test_small_floats_not_rendered_as_zero(self):
+        text = render_table(["k", "v"], [["tiny", 0.0004]])
+        assert "0.00040" in text
+
+    def test_integers_pass_through(self):
+        text = render_table(["k", "v"], [["count", 12345]])
+        assert "12345" in text

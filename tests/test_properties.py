@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import functools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import AccessKind, CacheHierarchy
+from repro.elf.symbols import Symbol, SymbolKind, SymbolTable, elf_hash
+from repro.fs.buffercache import BufferCache
+from repro.fs.files import FileImage
+from repro.fs.nfs import NFSServer
+from repro.mpi.communicator import Communicator
+from repro.mpi.serialization import serialize
+from repro.rng import SeededRng
+from repro.units import format_mmss, parse_mmss
+
+_settings = settings(
+    max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+@_settings
+@given(st.lists(st.integers(min_value=0, max_value=4096), min_size=1, max_size=400))
+def test_cache_misses_never_exceed_accesses(lines):
+    cache = Cache(CacheConfig(64 * 2 * 16, 2), "p")
+    for line in lines:
+        cache.access(line)
+    assert 0 <= cache.misses <= cache.accesses == len(lines)
+
+
+@_settings
+@given(st.lists(st.integers(min_value=0, max_value=4096), min_size=1, max_size=400))
+def test_cache_residency_bounded_by_capacity(lines):
+    config = CacheConfig(64 * 2 * 16, 2)
+    cache = Cache(config, "p")
+    for line in lines:
+        cache.access(line)
+    assert cache.resident_lines() <= config.n_sets * config.ways
+
+
+@_settings
+@given(st.lists(st.integers(min_value=0, max_value=256), min_size=1, max_size=200))
+def test_cache_repeat_access_always_hits(lines):
+    cache = Cache(CacheConfig(64 * 4 * 64, 4), "p")
+    for line in lines:
+        cache.access(line)
+        assert cache.access(line)  # immediate re-access must hit (MRU)
+
+
+@_settings
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 20),
+            st.integers(min_value=1, max_value=256),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_hierarchy_l2_misses_bounded_by_l1_misses(accesses):
+    hierarchy = CacheHierarchy()
+    for address, size in accesses:
+        hierarchy.access(address, size, AccessKind.DATA_READ)
+    counts = hierarchy.counters()
+    assert counts.l2_accesses == counts.l1d_misses + counts.l1i_misses
+    assert counts.l2_misses <= counts.l2_accesses
+
+
+@_settings
+@given(
+    st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=40,
+        ),
+        min_size=1,
+        max_size=80,
+        unique=True,
+    )
+)
+def test_symbol_table_matches_dict_oracle(names):
+    table = SymbolTable()
+    oracle = {}
+    for i, name in enumerate(names):
+        table.add(Symbol(name=name, kind=SymbolKind.FUNCTION, value=i, size=1))
+        oracle[name] = i
+    for name, value in oracle.items():
+        found = table.get(name)
+        assert found is not None and found.value == value
+        # The hash-walk path finds the same symbol.
+        bucket = table.bucket_of(name)
+        assert any(table.at(i).name == name for i in table.chain(bucket))
+    assert table.get("___absent___") is None
+
+
+@_settings
+@given(st.text(max_size=100))
+def test_elf_hash_stays_32_bit(name):
+    assert 0 <= elf_hash(name) < 2**32
+
+
+@_settings
+@given(st.integers(min_value=0, max_value=2**31), st.data())
+def test_seeded_rng_reproducible(seed, data):
+    label = data.draw(st.text(max_size=10))
+    a = SeededRng(seed).fork(label)
+    b = SeededRng(seed).fork(label)
+    assert [a.randint(0, 1000) for _ in range(5)] == [
+        b.randint(0, 1000) for _ in range(5)
+    ]
+
+
+@_settings
+@given(st.integers(min_value=0, max_value=599), st.integers(min_value=0, max_value=59))
+def test_mmss_round_trip(minutes, seconds):
+    total = minutes * 60 + seconds
+    assert parse_mmss(format_mmss(total)) == total
+
+
+@_settings
+@given(
+    st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=32)
+)
+def test_allreduce_matches_functools_reduce(values):
+    comm = Communicator(size=len(values))
+    result, _ = comm.allreduce(values, min)
+    assert result == functools.reduce(min, values)
+    result, _ = comm.allreduce(values, max)
+    assert result == functools.reduce(max, values)
+
+
+@_settings
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 18),
+            st.integers(min_value=1, max_value=1 << 14),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_buffer_cache_rereads_are_never_slower(reads):
+    nfs = NFSServer()
+    image = FileImage(path="/f", size_bytes=1 << 19, filesystem=nfs)
+    cache = BufferCache()
+    for offset, size in reads:
+        size = min(size, image.size_bytes - offset)
+        if size <= 0:
+            continue
+        first = cache.read(image, offset, size)
+        second = cache.read(image, offset, size)
+        assert second <= first
+
+
+@_settings
+@given(
+    st.one_of(
+        st.integers(),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.lists(st.integers(), max_size=20),
+        st.dictionaries(st.text(max_size=5), st.integers(), max_size=8),
+        st.text(max_size=50),
+    )
+)
+def test_serialization_payload_positive_and_consistent(value):
+    a = serialize(value)
+    b = serialize(value)
+    assert a.payload_bytes > 0
+    assert a == b  # deterministic
+
+
+@_settings
+@given(st.integers(min_value=1, max_value=3000), st.floats(min_value=0.0, max_value=0.8))
+def test_spread_around_respects_bounds(average, spread):
+    rng = SeededRng(1234)
+    value = rng.spread_around(average, spread)
+    assert 1 <= value
+    assert value >= int(average * (1 - spread))
+    assert value <= max(int(average * (1 - spread)), int(average * (1 + spread)))

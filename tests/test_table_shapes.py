@@ -1,0 +1,96 @@
+"""Integration: the paper's qualitative results hold on a mid-size run.
+
+These are the structural assertions of Tables I, II and IV at a scale
+small enough for the unit-test suite (the benchmarks run the full-size
+versions).
+"""
+
+import pytest
+
+from repro.core.builds import BuildMode, build_benchmark
+from repro.core.config import PynamicConfig
+from repro.core.generator import generate
+from repro.core.runner import run_all_modes
+from repro.machine.cluster import Cluster
+from repro.tools.debugger import ParallelDebugger
+
+
+@pytest.fixture(scope="module")
+def mid_results():
+    config = PynamicConfig(
+        n_modules=16,
+        n_utilities=12,
+        avg_functions=60,
+        seed=99,
+        name_length=64,
+        avg_body_instructions=60,
+    )
+    return run_all_modes(config)
+
+
+class TestTable1Shape:
+    def test_prelink_speeds_up_import(self, mid_results):
+        vanilla = mid_results[BuildMode.VANILLA].report
+        link = mid_results[BuildMode.LINKED].report
+        assert vanilla.import_s / link.import_s > 1.5
+
+    def test_lazy_binding_slows_down_visit(self, mid_results):
+        vanilla = mid_results[BuildMode.VANILLA].report
+        link = mid_results[BuildMode.LINKED].report
+        assert link.visit_s / vanilla.visit_s > 3.0
+
+    def test_bind_now_moves_cost_to_startup(self, mid_results):
+        link = mid_results[BuildMode.LINKED].report
+        bind = mid_results[BuildMode.LINKED_BIND_NOW].report
+        assert bind.startup_s > link.startup_s
+        # And restores the fast visit.
+        assert bind.visit_s == pytest.approx(
+            mid_results[BuildMode.VANILLA].report.visit_s, rel=0.35
+        )
+
+    def test_startup_ordering(self, mid_results):
+        vanilla = mid_results[BuildMode.VANILLA].report
+        link = mid_results[BuildMode.LINKED].report
+        bind = mid_results[BuildMode.LINKED_BIND_NOW].report
+        assert vanilla.startup_s <= link.startup_s < bind.startup_s
+
+    def test_bind_import_close_to_link_import(self, mid_results):
+        link = mid_results[BuildMode.LINKED].report
+        bind = mid_results[BuildMode.LINKED_BIND_NOW].report
+        assert bind.import_s == pytest.approx(link.import_s, rel=0.2)
+
+
+class TestTable2Shape:
+    def test_visit_dcache_explosion_only_when_lazy(self, mid_results):
+        vanilla = mid_results[BuildMode.VANILLA].report.counters["visit"]
+        link = mid_results[BuildMode.LINKED].report.counters["visit"]
+        bind = mid_results[BuildMode.LINKED_BIND_NOW].report.counters["visit"]
+        assert link.l1d_misses / max(1, vanilla.l1d_misses) > 50
+        assert bind.l1d_misses == pytest.approx(vanilla.l1d_misses, rel=0.3)
+
+    def test_import_is_data_miss_dominated(self, mid_results):
+        counters = mid_results[BuildMode.VANILLA].report.counters["import"]
+        assert counters.l1d_misses > 100 * max(1, counters.l1i_misses)
+
+    def test_instruction_misses_stable_across_builds(self, mid_results):
+        vanilla = mid_results[BuildMode.VANILLA].report.counters["visit"]
+        link = mid_results[BuildMode.LINKED].report.counters["visit"]
+        assert link.l1i_misses == pytest.approx(vanilla.l1i_misses, rel=0.2)
+
+    def test_vanilla_import_misses_exceed_link_import(self, mid_results):
+        vanilla = mid_results[BuildMode.VANILLA].report.counters["import"]
+        link = mid_results[BuildMode.LINKED].report.counters["import"]
+        assert vanilla.l1d_misses > link.l1d_misses
+
+
+class TestTable4Shape:
+    def test_cold_warm_structure(self, tiny_spec):
+        cluster = Cluster(n_nodes=2)
+        build = build_benchmark(tiny_spec, cluster.nfs, BuildMode.LINKED)
+        for image in build.images.values():
+            cluster.file_store.add(image)
+        cold = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=True)
+        warm = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=False)
+        assert cold.total_s > warm.total_s
+        assert cold.phase1_s > warm.phase1_s
+        assert cold.phase2_s == pytest.approx(warm.phase2_s, rel=0.05)

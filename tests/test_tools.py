@@ -1,0 +1,243 @@
+"""The development-tool chain: ptrace, breakpoints, debugger, Dyninst."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.builds import BuildMode, build_benchmark
+from repro.core.generator import generate
+from repro.errors import PtraceError, ToolError
+from repro.machine.cluster import Cluster
+from repro.machine.node import Node
+from repro.machine.osprofile import aix32, linux_chaos
+from repro.tools.breakpoints import BreakpointTable
+from repro.tools.costmodel import ToolUpdateCostModel, paper_example
+from repro.tools.debugger import ParallelDebugger, ToolCostModel
+from repro.tools.dyninst import Instrumenter
+from repro.tools.ptrace import PtraceInterface, TracedTask
+
+
+def _task(profile=None):
+    node = Node()
+    return TracedTask(process=node.spawn(profile=profile or linux_chaos()))
+
+
+class TestBreakpointTable:
+    def test_insert_remove(self):
+        table = BreakpointTable()
+        table.insert(0x1000)
+        assert table.lookup(0x1000) is not None
+        table.remove(0x1000)
+        assert table.lookup(0x1000) is None
+
+    def test_double_insert_rejected(self):
+        table = BreakpointTable()
+        table.insert(0x1000)
+        with pytest.raises(ToolError):
+            table.insert(0x1000)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(ToolError):
+            BreakpointTable().remove(0x1)
+
+    def test_addresses_sorted(self):
+        table = BreakpointTable()
+        for addr in (0x3000, 0x1000, 0x2000):
+            table.insert(addr)
+        assert table.addresses() == [0x1000, 0x2000, 0x3000]
+        assert len(table) == 3
+
+
+class TestPtrace:
+    def test_attach_detach_lifecycle(self):
+        ptrace = PtraceInterface(linux_chaos())
+        task = _task()
+        ptrace.attach(task)
+        assert task.attached and task.stopped
+        ptrace.cont(task)
+        assert not task.stopped
+        ptrace.stop(task)
+        ptrace.detach(task)
+        assert not task.attached
+
+    def test_double_attach_rejected(self):
+        ptrace = PtraceInterface(linux_chaos())
+        task = _task()
+        ptrace.attach(task)
+        with pytest.raises(PtraceError):
+            ptrace.attach(task)
+
+    def test_operations_require_attachment(self):
+        ptrace = PtraceInterface(linux_chaos())
+        with pytest.raises(PtraceError):
+            ptrace.cont(_task())
+
+    def test_breakpoints_require_stopped(self):
+        ptrace = PtraceInterface(linux_chaos())
+        task = _task()
+        ptrace.attach(task)
+        ptrace.cont(task)
+        with pytest.raises(PtraceError):
+            ptrace.set_breakpoint(task, 0x1000)
+
+    def test_load_event_costs_time(self):
+        ptrace = PtraceInterface(linux_chaos())
+        task = _task()
+        ptrace.attach(task)
+        ptrace.cont(task)
+        cost = ptrace.handle_load_event(task)
+        assert cost > 0
+        assert task.load_events_handled == 1
+
+    def test_aix_reinsert_scales_with_breakpoints(self):
+        """The B x T2 term: AIX events cost more per planted breakpoint."""
+
+        def event_cost(profile, n_breakpoints):
+            ptrace = PtraceInterface(profile)
+            task = _task(profile)
+            ptrace.attach(task)
+            for i in range(n_breakpoints):
+                ptrace.set_breakpoint(task, 0x1000 * (i + 1))
+            ptrace.cont(task)
+            return ptrace.handle_load_event(task)
+
+        linux_10 = event_cost(linux_chaos(), 10)
+        aix_0 = event_cost(aix32(), 0)
+        aix_10 = event_cost(aix32(), 10)
+        aix_20 = event_cost(aix32(), 20)
+        assert aix_10 > linux_10
+        assert aix_20 - aix_10 == pytest.approx(aix_10 - aix_0)
+
+
+class TestCostModel:
+    def test_paper_example_values(self):
+        example = paper_example()
+        assert example["minutes_without_reinsertion"] == pytest.approx(41.5, abs=0.5)
+        assert example["minutes_with_reinsertion"] == pytest.approx(83.0, abs=0.5)
+
+    def test_reinsertion_roughly_doubles(self):
+        """'Having to reinsert breakpoints approximately doubles' the cost."""
+        example = paper_example()
+        ratio = (
+            example["minutes_with_reinsertion"]
+            / example["minutes_without_reinsertion"]
+        )
+        assert ratio == pytest.approx(2.0)
+
+    def test_linear_in_m_and_n(self):
+        model = ToolUpdateCostModel()
+        assert model.total_seconds(1000, 500) == pytest.approx(
+            2 * model.total_seconds(500, 500)
+        )
+        assert model.total_seconds(500, 1000) == pytest.approx(
+            2 * model.total_seconds(500, 500)
+        )
+
+    def test_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ToolUpdateCostModel(t1_s=-1)
+        with pytest.raises(ConfigError):
+            ToolUpdateCostModel().total_seconds(-1, 10)
+
+
+@pytest.fixture(scope="module")
+def debug_world():
+    """A small linked build on a 2-node cluster for debugger tests."""
+    cluster = Cluster(n_nodes=2)
+    config = presets.tiny()
+    spec = generate(config)
+    build = build_benchmark(spec, cluster.nfs, BuildMode.LINKED)
+    for image in build.images.values():
+        cluster.file_store.add(image)
+    return cluster, build
+
+
+class TestParallelDebugger:
+    def test_cold_slower_than_warm(self, debug_world):
+        cluster, build = debug_world
+        cold = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=True)
+        warm = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=False)
+        assert cold.phase1_s > warm.phase1_s
+        assert cold.total_s > warm.total_s
+
+    def test_phase2_insensitive_to_cache(self, debug_world):
+        cluster, build = debug_world
+        cold = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=True)
+        warm = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=False)
+        assert cold.phase2_s == pytest.approx(warm.phase2_s, rel=0.05)
+
+    def test_phase2_scales_with_tasks(self, debug_world):
+        cluster, build = debug_world
+        few = ParallelDebugger(cluster, n_tasks=2).startup(build, cold=False)
+        many = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=False)
+        assert many.phase2_s > few.phase2_s
+
+    def test_event_count_is_m_times_n(self, debug_world):
+        cluster, build = debug_world
+        startup = ParallelDebugger(cluster, n_tasks=4).startup(build, cold=False)
+        assert startup.n_events == len(build.module_objects) * 4
+
+    def test_randomization_inflates_phase1(self, debug_world):
+        cluster, build = debug_world
+        plain = ParallelDebugger(cluster, n_tasks=8).startup(build, cold=False)
+        randomized = ParallelDebugger(
+            cluster,
+            n_tasks=8,
+            os_profile=linux_chaos(randomize_load_addresses=True),
+        ).startup(build, cold=False)
+        assert randomized.phase1_s > plain.phase1_s
+
+    def test_needs_a_task(self, debug_world):
+        cluster, _ = debug_world
+        with pytest.raises(ToolError):
+            ParallelDebugger(cluster, n_tasks=0)
+
+    def test_custom_cost_model(self, debug_world):
+        cluster, build = debug_world
+        slow = ParallelDebugger(
+            cluster,
+            n_tasks=4,
+            costs=ToolCostModel(event_per_task_instructions=200_000_000),
+        ).startup(build, cold=False)
+        fast = ParallelDebugger(
+            cluster,
+            n_tasks=4,
+            costs=ToolCostModel(event_per_task_instructions=50_000_000),
+        ).startup(build, cold=False)
+        assert slow.phase2_s > fast.phase2_s
+
+
+class TestInstrumenter:
+    def test_parse_then_instrument(self, debug_world):
+        _, build = debug_world
+        shared = next(iter(build.module_objects.values()))
+        instrumenter = Instrumenter()
+        instrumenter.handle_load(shared)
+        count = instrumenter.instrument_all_functions(shared)
+        assert count == len(shared.symbol_table)
+        assert instrumenter.total_seconds > 0
+
+    def test_instrument_before_parse_rejected(self, debug_world):
+        _, build = debug_world
+        shared = next(iter(build.module_objects.values()))
+        with pytest.raises(ToolError):
+            Instrumenter().instrument_function(
+                shared, shared.symbol_table.symbols()[0].name
+            )
+
+    def test_double_parse_rejected(self, debug_world):
+        _, build = debug_world
+        shared = next(iter(build.module_objects.values()))
+        instrumenter = Instrumenter()
+        instrumenter.handle_load(shared)
+        with pytest.raises(ToolError):
+            instrumenter.handle_load(shared)
+
+    def test_unknown_function_rejected(self, debug_world):
+        _, build = debug_world
+        shared = next(iter(build.module_objects.values()))
+        instrumenter = Instrumenter()
+        instrumenter.handle_load(shared)
+        with pytest.raises(ToolError):
+            instrumenter.instrument_function(shared, "ghost")

