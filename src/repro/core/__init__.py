@@ -9,6 +9,9 @@
 - :mod:`repro.core.driver` — the Pynamic driver (import-all, visit-all,
   MPI test, startup/import/visit metrics),
 - :mod:`repro.core.runner` — one-call benchmark runs on a simulated node,
+- :mod:`repro.core.job` — N-task jobs (the analytic rank-0 fast path),
+- :mod:`repro.core.multirank` — the multi-rank discrete-event engine
+  with per-rank skew and heterogeneity scenarios,
 - :mod:`repro.core.presets` — configurations incl. the LLNL multiphysics
   model from Section IV.
 """
@@ -25,6 +28,8 @@ from repro.core.generator import generate
 from repro.core.builds import BuildImage, BuildMode, build_benchmark
 from repro.core.driver import DriverReport, PynamicDriver
 from repro.core.runner import BenchmarkRunner, RunResult
+from repro.core.job import JobReport, PynamicJob, job_size_sweep
+from repro.core.multirank import JobScenario, MultiRankJob
 from repro.core import presets
 
 __all__ = [
@@ -34,13 +39,18 @@ __all__ = [
     "BuildMode",
     "DriverReport",
     "FunctionSpec",
+    "JobReport",
+    "JobScenario",
     "ModuleSpec",
+    "MultiRankJob",
     "PynamicConfig",
     "PynamicDriver",
+    "PynamicJob",
     "RunResult",
     "SystemLibSpec",
     "UtilitySpec",
     "build_benchmark",
     "generate",
+    "job_size_sweep",
     "presets",
 ]

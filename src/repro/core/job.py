@@ -7,17 +7,24 @@ system" scales to extreme node counts.
 
 The ranks of a Pynamic job are homogeneous by construction (identical
 binaries, identical import sequence — the property Section II.B.2 says
-scalable tools rely on), so the job runner simulates rank 0 in full
-detail while charging the *shared-resource* effects of all N tasks:
+scalable tools rely on), so the *analytic* job runner simulates rank 0 in
+full detail while charging the *shared-resource* effects of all N tasks:
 
 - the NFS server sees one reading client per node during cold loading,
 - the MPI functionality test runs at the full task count,
 - per-phase skew is the collectives' log-depth cost.
+
+``engine="multirank"`` instead runs every rank as its own interleaved
+simulation (:mod:`repro.core.multirank`), which is slower but lets
+contention, queueing skew and heterogeneity scenarios emerge per rank.
+The analytic path remains the validated fast mode.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.builds import BuildMode
 from repro.core.config import PynamicConfig
@@ -28,15 +35,84 @@ from repro.errors import ConfigError
 from repro.machine.cluster import Cluster
 from repro.machine.osprofile import OsProfile
 
+#: Valid values of the ``engine`` knob.
+ENGINES = ("analytic", "multirank")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample (q in [0, 100])."""
+    if not values:
+        raise ConfigError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
 
 @dataclass
 class JobReport:
-    """Per-phase times of an N-task Pynamic job (rank-0 perspective)."""
+    """Per-phase times of an N-task Pynamic job.
+
+    The analytic engine fills only ``rank0``; the multi-rank engine also
+    fills ``per_rank``, enabling the percentile/skew accessors below.
+    """
 
     n_tasks: int
     n_nodes: int
     rank0: DriverReport
     cold: bool
+    #: Which engine produced this report ("analytic" or "multirank").
+    engine: str = "analytic"
+    #: One report per rank (multi-rank engine only).
+    per_rank: list[DriverReport] | None = field(default=None, repr=False)
+
+    def _values(self, attr: str) -> list[float]:
+        reports = self.per_rank if self.per_rank else [self.rank0]
+        return [getattr(report, attr) for report in reports]
+
+    # -- per-rank distribution (collapses to rank 0 on the analytic path) --
+    @property
+    def import_p50(self) -> float:
+        """Median per-rank import time."""
+        return percentile(self._values("import_s"), 50)
+
+    @property
+    def import_p95(self) -> float:
+        """95th-percentile per-rank import time."""
+        return percentile(self._values("import_s"), 95)
+
+    @property
+    def import_max(self) -> float:
+        """Slowest rank's import time (when the import phase really ends)."""
+        return max(self._values("import_s"))
+
+    @property
+    def import_skew_s(self) -> float:
+        """Inter-rank import skew: slowest minus fastest rank."""
+        values = self._values("import_s")
+        return max(values) - min(values)
+
+    @property
+    def total_p50(self) -> float:
+        """Median per-rank total (startup + import + visit)."""
+        return percentile(self._values("total_s"), 50)
+
+    @property
+    def total_p95(self) -> float:
+        """95th-percentile per-rank total."""
+        return percentile(self._values("total_s"), 95)
+
+    @property
+    def total_max(self) -> float:
+        """Slowest rank's total."""
+        return max(self._values("total_s"))
+
+    @property
+    def total_skew_s(self) -> float:
+        """Inter-rank total skew: slowest minus fastest rank."""
+        values = self._values("total_s")
+        return max(values) - min(values)
 
     @property
     def startup_s(self) -> float:
@@ -65,7 +141,13 @@ class JobReport:
 
 
 class PynamicJob:
-    """Run the benchmark as an N-task job on a sized cluster."""
+    """Run the benchmark as an N-task job on a sized cluster.
+
+    ``engine="analytic"`` (default) is the fast rank-0 path;
+    ``engine="multirank"`` delegates to the discrete-event engine and
+    accepts an optional :class:`repro.core.multirank.JobScenario` via
+    ``scenario``.
+    """
 
     def __init__(
         self,
@@ -76,9 +158,17 @@ class PynamicJob:
         cores_per_node: int = 8,
         warm_file_cache: bool = False,
         os_profile: OsProfile | None = None,
+        engine: str = "analytic",
+        scenario: "object | None" = None,
     ) -> None:
         if n_tasks < 1:
             raise ConfigError(f"need at least one task, got {n_tasks}")
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        if scenario is not None and engine != "multirank":
+            raise ConfigError("scenarios require engine='multirank'")
         self.config = config
         self.spec = spec
         self.mode = mode
@@ -86,10 +176,26 @@ class PynamicJob:
         self.cores_per_node = cores_per_node
         self.warm_file_cache = warm_file_cache
         self.os_profile = os_profile
+        self.engine = engine
+        self.scenario = scenario
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
 
     def run(self) -> JobReport:
-        """Simulate the job; returns the rank-0 report with shared costs."""
+        """Simulate the job with the selected engine."""
+        if self.engine == "multirank":
+            # Imported lazily: multirank builds on this module's JobReport.
+            from repro.core.multirank import MultiRankJob
+
+            return MultiRankJob(
+                config=self.config,
+                spec=self.spec,
+                mode=self.mode,
+                n_tasks=self.n_tasks,
+                cores_per_node=self.cores_per_node,
+                warm_file_cache=self.warm_file_cache,
+                os_profile=self.os_profile,
+                scenario=self.scenario,  # type: ignore[arg-type]
+            ).run()
         cluster = Cluster(n_nodes=self.n_nodes, cores_per_node=self.cores_per_node)
         # Every node's pager hits the NFS server during cold loading.
         cluster.nfs.set_concurrency(self.n_nodes)
@@ -119,15 +225,26 @@ def job_size_sweep(
     task_counts: list[int],
     mode: BuildMode = BuildMode.VANILLA,
     warm_file_cache: bool = False,
+    engine: str = "analytic",
+    cores_per_node: int = 8,
+    scenario: "object | None" = None,
 ) -> dict[int, JobReport]:
-    """Cold job runs across task counts (the extreme-scale question)."""
+    """Cold job runs across task counts (the extreme-scale question).
+
+    This sequential loop is the reference implementation; use
+    :func:`repro.harness.sweep.sweep_job_reports` to fan the grid out
+    across worker processes with memoization.
+    """
     reports: dict[int, JobReport] = {}
     for n_tasks in task_counts:
         job = PynamicJob(
             config=config,
             mode=mode,
             n_tasks=n_tasks,
+            cores_per_node=cores_per_node,
             warm_file_cache=warm_file_cache,
+            engine=engine,
+            scenario=scenario,
         )
         reports[n_tasks] = job.run()
     return reports

@@ -1,0 +1,349 @@
+"""The multi-rank discrete-event job engine.
+
+The analytic job path (:mod:`repro.core.job`) simulates rank 0 in full
+detail and charges the other N-1 ranks' shared-resource effects in closed
+form — fast, but structurally unable to express contention scenarios:
+NFS queueing skew, straggler nodes, per-node OS jitter, cold/warm cache
+mixes.  This engine instantiates a real :class:`Process` +
+:class:`ExecutionContext` per simulated rank, interleaves their
+startup/import/visit phases on a shared virtual clock
+(least-virtual-time-first, :mod:`repro.machine.scheduler`), and routes
+every DLL read through the shared NFS server's timed FIFO queue
+(:meth:`NFSServer.request_at`) — so queueing delay and inter-rank skew
+*emerge* from the model.
+
+Homogeneous warm jobs reproduce the analytic rank-0 numbers (the golden
+regression tests pin this), so the analytic path remains the validated
+fast mode; this engine is the scenario mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator
+
+from repro.core.builds import BuildImage, BuildMode, build_benchmark
+from repro.core.config import PynamicConfig
+from repro.core.driver import DriverReport, PynamicDriver
+from repro.core.generator import generate
+from repro.core.job import JobReport
+from repro.core.specs import BenchmarkSpec
+from repro.elf.symbols import HashStyle
+from repro.errors import ConfigError, DriverError
+from repro.fs.files import FileImage
+from repro.linker.dynamic import DynamicLinker
+from repro.machine.cluster import Cluster
+from repro.machine.context import ExecutionContext
+from repro.machine.node import Node
+from repro.machine.osprofile import OsProfile, linux_chaos
+from repro.machine.scheduler import EventScheduler, RankTask
+from repro.mpi.api import MpiSession
+from repro.perf.timers import PhaseTimer
+from repro.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class JobScenario:
+    """Heterogeneity knobs for the multi-rank engine.
+
+    The default instance is perfectly homogeneous: every rank is
+    identical, so a warm job shows exactly zero inter-rank skew.
+    """
+
+    #: Node indices whose cores run slower (thermal throttling, a bad
+    #: DIMM, a noisy neighbour daemon).
+    straggler_nodes: tuple[int, ...] = ()
+    #: Clock-speed divisor applied to straggler nodes (2.0 = half speed).
+    straggler_slowdown: float = 1.5
+    #: Upper bound of the per-rank OS-noise launch jitter in seconds;
+    #: each rank draws uniformly (and deterministically, from the
+    #: benchmark seed) in ``[0, os_jitter_s]``.
+    os_jitter_s: float = 0.0
+    #: Fraction of nodes whose disk buffer caches start warm — the
+    #: cold/warm mix of a partially reused batch allocation.
+    warm_node_fraction: float = 0.0
+    #: Per-node OS profiles (node index -> profile); unlisted nodes use
+    #: the job's default profile.
+    node_os_profiles: "dict[int, OsProfile] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.straggler_slowdown < 1.0:
+            raise ConfigError(
+                f"straggler slowdown must be >= 1, got {self.straggler_slowdown}"
+            )
+        if self.os_jitter_s < 0:
+            raise ConfigError(f"negative jitter: {self.os_jitter_s}")
+        if not 0.0 <= self.warm_node_fraction <= 1.0:
+            raise ConfigError(
+                f"warm fraction must be in [0, 1], got {self.warm_node_fraction}"
+            )
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when no knob introduces per-rank differences."""
+        return (
+            not self.straggler_nodes
+            and self.os_jitter_s == 0.0
+            and self.warm_node_fraction == 0.0
+            and not self.node_os_profiles
+        )
+
+
+class _RankNode(Node):
+    """One rank's core: a private clock sharing the home node's disk cache.
+
+    File reads route through the backing file system's timed FIFO queue at
+    this rank's current virtual time, so concurrent ranks' reads contend.
+    """
+
+    def read_file(
+        self, image: FileImage, offset: int = 0, size: int | None = None
+    ) -> float:
+        def fetch(n_bytes: int, n_ops: int) -> float:
+            request_at = getattr(image.filesystem, "request_at", None)
+            if request_at is None:
+                return image.filesystem.read_seconds(n_bytes, n_ops)
+            now = self.clock.seconds
+            return request_at(now, n_bytes, n_ops) - now
+
+        seconds = self.buffer_cache.read_with(image, offset, size, fetch)
+        self.clock.add_seconds(seconds)
+        return seconds
+
+
+class _SteppedDriver(PynamicDriver):
+    """A :class:`PynamicDriver` resumable one module at a time.
+
+    The MPI test is *not* run here — the engine synchronizes all ranks
+    and runs the collective once, charging each rank its barrier wait.
+    """
+
+    def __init__(self, **kwargs: object) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        self._startup_s = 0.0
+        self._timer: PhaseTimer | None = None
+        self._fixups_before = 0
+        self._eager_before = 0
+
+    def steps(self) -> Generator[None, None, None]:
+        """Import then visit every module, yielding after each one."""
+        ctx = self.ctx
+        if self.process.link_map is None:
+            raise DriverError("program was not started before running the driver")
+        self._startup_s = ctx.seconds - self.process.invoked_at
+        self._timer = timer = PhaseTimer(ctx.node.clock)
+        self._fixups_before = self.linker.lazy_fixups
+        self._eager_before = self.linker.eager_plt_resolutions
+        with timer.phase("import"), self.papi.phase("import"):
+            for module in self.build.spec.modules:
+                self._import_module(module)
+                yield
+        with timer.phase("visit"), self.papi.phase("visit"):
+            for module in self.build.spec.modules:
+                self._visit_module(module)
+                yield
+
+    def final_report(self, mpi_s: float) -> DriverReport:
+        """The rank's :class:`DriverReport` once all steps have run."""
+        if self._timer is None:
+            raise DriverError("rank driver never ran its steps")
+        return DriverReport(
+            mode=self.build.mode.value,
+            startup_s=self._startup_s,
+            import_s=self._timer.get("import"),
+            visit_s=self._timer.get("visit"),
+            mpi_s=mpi_s,
+            counters=dict(self.papi.phases),
+            modules_imported=len(self._handles),
+            functions_visited=self._functions_visited,
+            lazy_fixups=self.linker.lazy_fixups - self._fixups_before,
+            eager_plt_resolutions=(
+                self.linker.eager_plt_resolutions - self._eager_before
+            ),
+            major_fault_bytes=self.ctx.major_fault_bytes,
+        )
+
+
+class MultiRankJob:
+    """Run the benchmark as N interleaved per-rank simulations."""
+
+    def __init__(
+        self,
+        config: PynamicConfig | None = None,
+        spec: BenchmarkSpec | None = None,
+        mode: BuildMode = BuildMode.VANILLA,
+        n_tasks: int = 1,
+        cores_per_node: int = 8,
+        warm_file_cache: bool = False,
+        os_profile: OsProfile | None = None,
+        scenario: JobScenario | None = None,
+        hash_style: HashStyle = HashStyle.SYSV,
+        prelink: bool = False,
+    ) -> None:
+        if spec is None and config is None:
+            raise ConfigError("provide a config or a pre-generated spec")
+        if n_tasks < 1:
+            raise ConfigError(f"need at least one task, got {n_tasks}")
+        if cores_per_node < 1:
+            raise ConfigError(f"need at least one core per node, got {cores_per_node}")
+        self.spec = spec if spec is not None else generate(config)  # type: ignore[arg-type]
+        self.mode = mode
+        self.n_tasks = n_tasks
+        self.cores_per_node = cores_per_node
+        self.warm_file_cache = warm_file_cache
+        self.os_profile = os_profile or linux_chaos()
+        self.scenario = scenario or JobScenario()
+        self.hash_style = hash_style
+        self.prelink = prelink
+        self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
+        for index in self.scenario.straggler_nodes:
+            if not 0 <= index < self.n_nodes:
+                raise ConfigError(
+                    f"straggler node {index} outside the {self.n_nodes}-node job"
+                )
+        if self.scenario.node_os_profiles:
+            for index in self.scenario.node_os_profiles:
+                if not 0 <= index < self.n_nodes:
+                    raise ConfigError(
+                        f"OS profile for node {index} outside the "
+                        f"{self.n_nodes}-node job"
+                    )
+        self._drivers: dict[int, _SteppedDriver] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> JobReport:
+        """Simulate every rank; returns a report with per-rank detail."""
+        cluster = Cluster(
+            n_nodes=self.n_nodes, cores_per_node=self.cores_per_node
+        )
+        cluster.validate_job_size(self.n_tasks)
+        cluster.nfs.reset_queue()
+        cluster.pfs.reset_queue()
+        build = build_benchmark(
+            self.spec, cluster.nfs, self.mode, hash_style=self.hash_style
+        )
+        for image in build.images.values():
+            cluster.file_store.add(image)
+        rng = SeededRng(getattr(self.spec.config, "seed", 0))
+        self._warm_caches(cluster, build, rng)
+        self._drivers = {}
+        tasks: list[RankTask] = []
+        for rank in range(self.n_tasks):
+            node_index = rank // self.cores_per_node
+            home = cluster.nodes[node_index]
+            costs = home.costs
+            if node_index in self.scenario.straggler_nodes:
+                costs = replace(
+                    costs,
+                    frequency_hz=max(
+                        1,
+                        int(costs.frequency_hz / self.scenario.straggler_slowdown),
+                    ),
+                )
+            profile = self.os_profile
+            if self.scenario.node_os_profiles:
+                profile = self.scenario.node_os_profiles.get(node_index, profile)
+            rank_node = _RankNode(
+                name=f"{home.name}:rank{rank}",
+                costs=costs,
+                buffer_cache=home.buffer_cache,
+                cores=1,
+            )
+            tasks.append(
+                RankTask(
+                    rank,
+                    self._rank_steps(rank, rank_node, build, profile, rng),
+                    now=lambda clock=rank_node.clock: clock.seconds,
+                )
+            )
+        EventScheduler().run(tasks)
+        mpi_per_rank = self._mpi_phase(cluster)
+        per_rank = [
+            self._drivers[rank].final_report(mpi_s=mpi_per_rank[rank])
+            for rank in range(self.n_tasks)
+        ]
+        return JobReport(
+            n_tasks=self.n_tasks,
+            n_nodes=self.n_nodes,
+            rank0=per_rank[0],
+            cold=not self.warm_file_cache,
+            engine="multirank",
+            per_rank=per_rank,
+        )
+
+    # ------------------------------------------------------------------
+    def _warm_nodes(self, rng: SeededRng) -> list[int]:
+        """Node indices whose buffer caches start warm."""
+        if self.warm_file_cache:
+            return list(range(self.n_nodes))
+        fraction = self.scenario.warm_node_fraction
+        if fraction <= 0.0:
+            return []
+        count = min(self.n_nodes, max(1, round(fraction * self.n_nodes)))
+        return sorted(rng.fork("warm-mix").sample(range(self.n_nodes), count))
+
+    def _warm_caches(
+        self, cluster: Cluster, build: BuildImage, rng: SeededRng
+    ) -> None:
+        """Model prior activity leaving DLLs in some nodes' disk caches."""
+        for index in self._warm_nodes(rng):
+            for image in build.images.values():
+                cluster.nodes[index].buffer_cache.read(image)
+
+    def _rank_steps(
+        self,
+        rank: int,
+        node: Node,
+        build: BuildImage,
+        profile: OsProfile,
+        rng: SeededRng,
+    ) -> Generator[None, None, None]:
+        """One rank's whole job as a resumable generator."""
+        env = {}
+        if self.mode is BuildMode.LINKED_BIND_NOW:
+            env["LD_BIND_NOW"] = "1"
+        process = node.spawn(
+            profile=profile, env=env, rng=rng.fork(f"rank{rank}:aslr")
+        )
+        ctx = ExecutionContext(process)
+        ctx.stall_seconds(ctx.costs.job_launch_latency_s)
+        if self.scenario.os_jitter_s > 0.0:
+            ctx.stall_seconds(
+                rng.fork(f"rank{rank}:jitter").uniform(
+                    0.0, self.scenario.os_jitter_s
+                )
+            )
+        yield
+        linker = DynamicLinker(build.registry, prelink=self.prelink)
+        linker.start_program(process, build.executable, ctx)
+        ctx.work(ctx.costs.interpreter_boot_instructions)
+        driver = _SteppedDriver(
+            build=build, linker=linker, process=process, ctx=ctx
+        )
+        self._drivers[rank] = driver
+        yield
+        yield from driver.steps()
+
+    def _mpi_phase(self, cluster: Cluster) -> list[float]:
+        """Barrier every rank, run the collective self-test, charge waits.
+
+        Each rank's MPI time is its wait for the slowest rank plus the
+        collective itself — which is how stragglers tax the whole job.
+        """
+        if not getattr(self.spec.config, "mpi_test", False):
+            return [0.0] * self.n_tasks
+        finish = [
+            self._drivers[rank].ctx.seconds for rank in range(self.n_tasks)
+        ]
+        t_max = max(finish)
+        slowest = finish.index(t_max)
+        session = MpiSession(cluster=cluster, n_tasks=self.n_tasks)
+        ctx = self._drivers[slowest].ctx
+        session.run_selftest(ctx)
+        end_s = ctx.seconds
+        for rank in range(self.n_tasks):
+            if rank != slowest:
+                self._drivers[rank].ctx.node.clock.add_seconds(
+                    end_s - finish[rank]
+                )
+        return [end_s - finish[rank] for rank in range(self.n_tasks)]

@@ -11,6 +11,7 @@ resident pages at memory-copy bandwidth.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Callable
 
 from repro.errors import ConfigError
 from repro.fs.files import FileImage
@@ -52,6 +53,25 @@ class BufferCache:
         request (the kernel's read-ahead), then inserted.  Resident pages
         cost only a memory copy.
         """
+        return self.read_with(image, offset, size, image.filesystem.read_seconds)
+
+    def read_with(
+        self,
+        image: FileImage,
+        offset: int = 0,
+        size: int | None = None,
+        fetch: "Callable[[int, int], float] | None" = None,
+    ) -> float:
+        """Like :meth:`read`, but missing pages are charged via ``fetch``.
+
+        ``fetch(n_bytes, n_ops)`` returns the seconds the backing store
+        takes for the miss traffic.  The multi-rank engine passes a closure
+        that routes the request through the file system's timed FIFO queue
+        at the reading rank's current virtual time, so contention between
+        ranks emerges instead of being charged analytically.
+        """
+        if fetch is None:
+            fetch = image.filesystem.read_seconds
         if size is None:
             size = image.size_bytes - offset
         if size == 0:
@@ -75,9 +95,7 @@ class BufferCache:
                     self._pages.popitem(last=False)
         seconds = self.hit_latency_s + size / self.hit_bandwidth_bps
         if missing_pages:
-            seconds += image.filesystem.read_seconds(
-                missing_pages * self.page_bytes, n_ops=1
-            )
+            seconds += fetch(missing_pages * self.page_bytes, 1)
         return seconds
 
     def contains(self, image: FileImage, offset: int = 0, size: int | None = None) -> bool:

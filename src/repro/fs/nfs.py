@@ -11,6 +11,7 @@ server-side concurrency cap beyond which requests simply queue).
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.fs.reservation import reserve
 
 
 class NFSServer:
@@ -32,6 +33,10 @@ class NFSServer:
         self.concurrent_clients = 1
         self.bytes_served = 0
         self.requests_served = 0
+        #: Disjoint, sorted (start, end) windows during which the server
+        #: pipe is transferring — state of the timed queueing interface
+        #: used by the multi-rank engine (:meth:`request_at`).
+        self._reservations: list[tuple[float, float]] = []
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -58,3 +63,37 @@ class NFSServer:
         self.requests_served += n_ops
         transfer = n_bytes / self.effective_bandwidth_bps()
         return n_ops * self.latency_s * queue_factor + transfer
+
+    # -- timed queueing interface (multi-rank engine) ---------------------
+    def reset_queue(self) -> None:
+        """Forget queued work — call once per simulated job."""
+        self._reservations = []
+
+    def request_at(self, start_s: float, n_bytes: int, n_ops: int = 1) -> float:
+        """A read request arriving at virtual time ``start_s``; returns its
+        completion time.
+
+        Per-request protocol latency pipelines across clients (the server
+        processes RPCs concurrently, matching the analytic model below its
+        concurrency cap), but the data *transfer* must reserve the single
+        full-bandwidth pipe: it books the earliest free window at or after
+        its arrival.  Concurrent clients therefore see the analytic
+        model's aggregate throughput plus the per-client *skew* (early
+        arrivals finish early) that model cannot express — and because a
+        window can be booked in the past of the latest reservation, the
+        outcome is independent of the order in which a scheduler's
+        coarse-grained steps happen to issue the requests.  With one
+        client and no backlog this equals :meth:`read_seconds` at
+        concurrency 1 exactly.
+        """
+        if n_bytes < 0 or n_ops < 0:
+            raise ConfigError("read sizes must be non-negative")
+        if start_s < 0:
+            raise ConfigError(f"negative request time: {start_s}")
+        self.bytes_served += n_bytes
+        self.requests_served += n_ops
+        arrival = start_s + n_ops * self.latency_s
+        service = n_bytes / self.bandwidth_bps
+        if service <= 0.0:
+            return arrival
+        return reserve(self._reservations, arrival, service) + service

@@ -10,6 +10,7 @@ scalability experiment (DESIGN.md S3).
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.fs.reservation import book, earliest_gap
 
 
 class ParallelFileSystem:
@@ -31,6 +32,11 @@ class ParallelFileSystem:
         self.concurrent_clients = 1
         self.bytes_served = 0
         self.requests_served = 0
+        #: Per-target disjoint, sorted (start, end) transfer windows for
+        #: the timed queueing interface (:meth:`request_at`).
+        self._target_reservations: list[list[tuple[float, float]]] = [
+            [] for _ in range(n_targets)
+        ]
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -56,3 +62,36 @@ class ParallelFileSystem:
         self.bytes_served += n_bytes
         self.requests_served += n_ops
         return n_ops * self.latency_s + n_bytes / self.effective_bandwidth_bps()
+
+    # -- timed queueing interface (multi-rank engine) ---------------------
+    def reset_queue(self) -> None:
+        """Forget queued work — call once per simulated job."""
+        self._target_reservations = [[] for _ in range(self.n_targets)]
+
+    def request_at(self, start_s: float, n_bytes: int, n_ops: int = 1) -> float:
+        """A read arriving at ``start_s``; returns its completion time.
+
+        Protocol latency pipelines; the transfer books the earliest free
+        window on whichever storage target can start it soonest, at one
+        stripe's bandwidth.  Up to ``n_targets`` clients proceed without
+        queueing — the striped scalability the paper contrasts with NFS.
+        """
+        if n_bytes < 0 or n_ops < 0:
+            raise ConfigError("read sizes must be non-negative")
+        if start_s < 0:
+            raise ConfigError(f"negative request time: {start_s}")
+        self.bytes_served += n_bytes
+        self.requests_served += n_ops
+        per_target = self.aggregate_bandwidth_bps / self.n_targets
+        arrival = start_s + n_ops * self.latency_s
+        service = n_bytes / per_target
+        if service <= 0.0:
+            return arrival
+        begins = [
+            earliest_gap(reservations, arrival, service)
+            for reservations in self._target_reservations
+        ]
+        target = min(range(self.n_targets), key=begins.__getitem__)
+        begin = begins[target]
+        book(self._target_reservations[target], begin, service)
+        return begin + service

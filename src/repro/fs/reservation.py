@@ -1,0 +1,45 @@
+"""Earliest-gap reservation of a serial resource's timeline.
+
+Shared by the timed queueing interfaces of :class:`NFSServer` (one
+full-bandwidth pipe) and :class:`ParallelFileSystem` (one timeline per
+storage target).  A reservation list is a sorted sequence of disjoint
+``(start, end)`` windows during which the resource is transferring; a
+new request books the earliest free window at or after its arrival —
+possibly in the "past" of the latest booking, which keeps the outcome
+independent of the order a coarse-grained scheduler issues requests in.
+"""
+
+from __future__ import annotations
+
+
+def earliest_gap(
+    reservations: list[tuple[float, float]], arrival: float, service: float
+) -> float:
+    """Earliest start >= ``arrival`` of a free ``service``-long window."""
+    begin = arrival
+    for window_start, window_end in reservations:
+        if begin + service <= window_start:
+            return begin
+        if window_end > begin:
+            begin = window_end
+    return begin
+
+
+def book(
+    reservations: list[tuple[float, float]], begin: float, service: float
+) -> None:
+    """Insert a (begin, begin + service) window, keeping the list sorted."""
+    for index, (window_start, _) in enumerate(reservations):
+        if begin < window_start:
+            reservations.insert(index, (begin, begin + service))
+            return
+    reservations.append((begin, begin + service))
+
+
+def reserve(
+    reservations: list[tuple[float, float]], arrival: float, service: float
+) -> float:
+    """Book the earliest free window; returns its start time."""
+    begin = earliest_gap(reservations, arrival, service)
+    book(reservations, begin, service)
+    return begin

@@ -7,5 +7,14 @@ repro.harness.cli run all`` reproduces everything in one go.
 """
 
 from repro.harness.experiments import ExperimentResult, REGISTRY, register, run_experiment
+from repro.harness.sweep import SweepRunner, sweep_job_reports, sweep_mode_reports
 
-__all__ = ["ExperimentResult", "REGISTRY", "register", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "SweepRunner",
+    "register",
+    "run_experiment",
+    "sweep_job_reports",
+    "sweep_mode_reports",
+]

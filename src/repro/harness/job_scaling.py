@@ -1,4 +1,12 @@
-"""Job-size scaling: cold N-task startup against shared NFS."""
+"""Job-size scaling: cold N-task startup against shared NFS.
+
+Two engines regenerate this experiment.  The analytic fast path charges
+rank 0 with the closed-form shared-resource costs (the original Table
+reproduction); the multi-rank discrete-event engine simulates every rank
+and reports the inter-rank skew distribution the analytic path cannot
+express.  Both grids fan out across worker processes via the sweep
+runner.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +14,8 @@ from dataclasses import replace
 
 from repro.core import presets
 from repro.core.builds import BuildMode
-from repro.core.job import job_size_sweep
 from repro.harness.experiments import ExperimentResult, register
+from repro.harness.sweep import sweep_job_reports
 
 
 @register("job_scaling")
@@ -21,7 +29,7 @@ def run() -> ExperimentResult:
         presets.tiny(), n_modules=8, n_utilities=6, avg_functions=30
     )
     task_counts = [8, 64, 256]
-    reports = job_size_sweep(config, task_counts, mode=BuildMode.VANILLA)
+    reports = sweep_job_reports(config, task_counts, mode=BuildMode.VANILLA)
     rows = []
     for n_tasks in task_counts:
         report = reports[n_tasks]
@@ -35,7 +43,7 @@ def run() -> ExperimentResult:
             ]
         )
     result.add_table(
-        "rank-0 phase times, cold file caches",
+        "rank-0 phase times, cold file caches (analytic fast path)",
         ["tasks", "nodes", "startup(s)", "import(s)", "MPI test(s)"],
         rows,
     )
@@ -45,9 +53,44 @@ def run() -> ExperimentResult:
     result.metrics["mpi_growth_8_to_256"] = (
         reports[256].mpi_s / max(1e-12, reports[8].mpi_s)
     )
+    # The discrete-event engine: every rank simulated, skew emerges from
+    # the NFS server's FIFO queue (kept to 64 ranks to bound runtime).
+    multi_counts = [8, 32, 64]
+    multi = sweep_job_reports(
+        config, multi_counts, mode=BuildMode.VANILLA, engine="multirank"
+    )
+    skew_rows = []
+    for n_tasks in multi_counts:
+        report = multi[n_tasks]
+        skew_rows.append(
+            [
+                n_tasks,
+                report.n_nodes,
+                report.import_p50,
+                report.import_p95,
+                report.import_max,
+                report.import_skew_s,
+            ]
+        )
+    result.add_table(
+        "per-rank import distribution, cold (multi-rank engine)",
+        ["tasks", "nodes", "p50(s)", "p95(s)", "max(s)", "skew(s)"],
+        skew_rows,
+    )
+    result.metrics["skew_p95_over_p50_at_64"] = (
+        multi[64].import_p95 / max(1e-12, multi[64].import_p50)
+    )
+    result.metrics["multirank_import_growth_8_to_64"] = (
+        multi[64].import_max / max(1e-12, multi[8].import_max)
+    )
     result.notes.append(
         "every node pages the DLLs in from the same NFS server: cold "
         "import time grows with the node count while the compute work "
         "per rank is constant"
+    )
+    result.notes.append(
+        "the multi-rank engine shows *which* ranks pay: the first rank "
+        "to fault each node's DLLs queues at the server, later ranks on "
+        "the node hit the shared buffer cache — hence p95 >> p50"
     )
     return result

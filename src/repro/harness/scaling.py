@@ -13,16 +13,15 @@ from dataclasses import replace
 
 from repro.core import presets
 from repro.core.builds import BuildMode
-from repro.core.runner import run_all_modes
 from repro.fs.nfs import NFSServer
 from repro.fs.parallelfs import ParallelFileSystem
 from repro.harness.experiments import ExperimentResult, register
+from repro.harness.sweep import sweep_mode_reports
 
 
-def _ratio_at(config) -> dict[str, float]:
-    results = run_all_modes(config)
-    vanilla = results[BuildMode.VANILLA].report
-    link = results[BuildMode.LINKED].report
+def _ratio_from(config, reports) -> dict[str, float]:
+    vanilla = reports[BuildMode.VANILLA]
+    link = reports[BuildMode.LINKED]
     return {
         "n_dlls": config.n_modules + config.n_utilities,
         "vanilla_visit_s": vanilla.visit_s,
@@ -40,15 +39,18 @@ def run_dll_scaling() -> ExperimentResult:
         paper_reference="Section V (future work)",
     )
     base = presets.table1_config()
-    rows = []
-    points = []
-    for factor in (0.3, 0.6, 1.0):
-        config = replace(
+    configs = [
+        replace(
             base,
             n_modules=max(2, round(base.n_modules * factor)),
             n_utilities=max(1, round(base.n_utilities * factor)),
         )
-        point = _ratio_at(config)
+        for factor in (0.3, 0.6, 1.0)
+    ]
+    rows = []
+    points = []
+    for config, reports in zip(configs, sweep_mode_reports(configs)):
+        point = _ratio_from(config, reports)
         points.append(point)
         rows.append(
             [
@@ -86,11 +88,11 @@ def run_dll_size_scaling() -> ExperimentResult:
     rows = []
     first_import = None
     last_import = None
-    for avg_functions in (50, 100, 200):
-        config = replace(base, avg_functions=avg_functions)
-        results = run_all_modes(config)
-        vanilla = results[BuildMode.VANILLA].report
-        link = results[BuildMode.LINKED].report
+    sizes = (50, 100, 200)
+    configs = [replace(base, avg_functions=avg_functions) for avg_functions in sizes]
+    for avg_functions, reports in zip(sizes, sweep_mode_reports(configs)):
+        vanilla = reports[BuildMode.VANILLA]
+        link = reports[BuildMode.LINKED]
         if first_import is None:
             first_import = vanilla.import_s
         last_import = vanilla.import_s

@@ -1,0 +1,165 @@
+"""The parallel sweep runner: experiment grids across worker processes.
+
+Regenerating a table or an ablation means evaluating the same simulation
+at many grid points (task counts, DLL counts, build modes).  Every point
+is an independent, deterministic, CPU-bound simulation — exactly the
+shape ``multiprocessing`` likes — so the :class:`SweepRunner` fans a grid
+out across workers and memoizes each point's result, keeping table
+regeneration fast even as the multi-rank engine makes single points more
+expensive.
+
+Two grid shapes cover the harness experiments:
+
+- :func:`sweep_job_reports` — N-task job runs across task counts
+  (either engine), used by ``job_scaling``;
+- :func:`sweep_mode_reports` — all three build modes per config, used by
+  the DLL-count and DLL-size scaling studies.
+
+Workers must re-import this module, so the evaluation functions are
+plain top-level functions of picklable arguments, and results are
+reduced to report dataclasses (never clusters or linkers).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+from typing import Callable, Sequence
+
+from repro.core.builds import BuildMode
+from repro.core.config import PynamicConfig
+from repro.core.driver import DriverReport
+from repro.core.job import JobReport, PynamicJob
+from repro.core.runner import run_all_modes
+from repro.errors import ConfigError
+
+#: Hard cap on worker processes — grid points are coarse, so more
+#: workers than points (or than cores) only adds fork overhead.
+MAX_WORKERS = 8
+
+
+def _eval_job_point(point: tuple) -> JobReport:
+    """Evaluate one N-task job grid point (top-level for pickling)."""
+    config, n_tasks, mode_value, warm, engine, cores_per_node, scenario = point
+    return PynamicJob(
+        config=config,
+        mode=BuildMode(mode_value),
+        n_tasks=n_tasks,
+        cores_per_node=cores_per_node,
+        warm_file_cache=warm,
+        engine=engine,
+        scenario=scenario,
+    ).run()
+
+
+def _eval_mode_point(point: tuple) -> dict[BuildMode, DriverReport]:
+    """Evaluate all three build modes for one config grid point."""
+    config, warm = point
+    results = run_all_modes(config, warm_file_cache=warm)
+    return {mode: result.report for mode, result in results.items()}
+
+
+class SweepRunner:
+    """Executes grid points across processes with memoized results.
+
+    ``workers=1`` evaluates inline (no pool, no fork overhead) — handy
+    for tests and for tiny grids.  Results are memoized per (function,
+    point) so regenerating overlapping tables (or re-running an
+    experiment in the same process) re-simulates nothing.
+    """
+
+    def __init__(self, workers: int | None = None, memoize: bool = True) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.memoize = memoize
+        self._memo: dict[tuple[str, str], object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _worker_count(self, n_points: int) -> int:
+        if self.workers is not None:
+            return min(self.workers, max(1, n_points))
+        return max(1, min(os.cpu_count() or 1, n_points, MAX_WORKERS))
+
+    def map(self, func: Callable[[tuple], object], points: Sequence[tuple]) -> list:
+        """Evaluate ``func`` over ``points``, parallel and memoized.
+
+        Results come back in point order.  ``func`` must be a top-level
+        function and every point must be picklable.  With memoization
+        on, duplicate points inside one call are simulated only once.
+        """
+        if not self.memoize:
+            self.misses += len(points)
+            return self._evaluate(func, list(points))
+        keys = [(func.__name__, repr(point)) for point in points]
+        results: dict[int, object] = {}
+        compute: dict[tuple[str, str], int] = {}  # key -> first index
+        for index, key in enumerate(keys):
+            if key in self._memo:
+                results[index] = self._memo[key]
+                self.hits += 1
+            elif key in compute:
+                self.hits += 1  # duplicate of a point already queued
+            else:
+                compute[key] = index
+                self.misses += 1
+        if compute:
+            computed = self._evaluate(
+                func, [points[index] for index in compute.values()]
+            )
+            self._memo.update(zip(compute.keys(), computed))
+            for index, key in enumerate(keys):
+                if index not in results:
+                    results[index] = self._memo[key]
+        return [results[index] for index in range(len(points))]
+
+    def _evaluate(self, func: Callable[[tuple], object], todo: list) -> list:
+        """Run the grid points, inline or across a worker pool."""
+        workers = self._worker_count(len(todo))
+        if workers == 1:
+            return [func(point) for point in todo]
+        # fork keeps the generated specs' import state cheap to inherit
+        # (fall back where fork does not exist); grid points are coarse
+        # so chunksize 1 balances.
+        try:
+            context = get_context("fork")
+        except ValueError:
+            context = get_context()
+        with context.Pool(processes=workers) as pool:
+            return pool.map(func, todo, chunksize=1)
+
+
+#: Shared default runner: memoized across every experiment in a process.
+DEFAULT_RUNNER = SweepRunner()
+
+
+def sweep_job_reports(
+    config: PynamicConfig,
+    task_counts: Sequence[int],
+    mode: BuildMode = BuildMode.VANILLA,
+    warm_file_cache: bool = False,
+    engine: str = "analytic",
+    cores_per_node: int = 8,
+    scenario: "object | None" = None,
+    runner: SweepRunner | None = None,
+) -> dict[int, JobReport]:
+    """Parallel, memoized equivalent of :func:`repro.core.job.job_size_sweep`."""
+    runner = runner or DEFAULT_RUNNER
+    points = [
+        (config, n, mode.value, warm_file_cache, engine, cores_per_node, scenario)
+        for n in task_counts
+    ]
+    reports = runner.map(_eval_job_point, points)
+    return dict(zip(task_counts, reports))
+
+
+def sweep_mode_reports(
+    configs: Sequence[PynamicConfig],
+    warm_file_cache: bool = True,
+    runner: SweepRunner | None = None,
+) -> list[dict[BuildMode, DriverReport]]:
+    """All three build modes for each config, one worker per grid point."""
+    runner = runner or DEFAULT_RUNNER
+    points = [(config, warm_file_cache) for config in configs]
+    return runner.map(_eval_mode_point, points)

@@ -38,6 +38,7 @@ class Cluster:
             Node(name=f"node{i}", costs=self.costs, cores=cores_per_node)
             for i in range(n_nodes)
         ]
+        self._total_cores = n_nodes * cores_per_node
 
     @property
     def n_nodes(self) -> int:
@@ -46,20 +47,37 @@ class Cluster:
 
     @property
     def total_cores(self) -> int:
-        """Total cores across the cluster."""
-        return sum(node.cores for node in self.nodes)
+        """Total cores across the cluster (cached: per-rank loops call
+        :meth:`validate_job_size` via :meth:`node_for_rank`)."""
+        return self._total_cores
+
+    def validate_job_size(self, n_tasks: int) -> None:
+        """Reject jobs that do not fit the cluster's cores.
+
+        srun refuses to oversubscribe without an explicit flag; silently
+        packing extra ranks onto cores would skew every per-rank time, so
+        the simulator refuses too.
+        """
+        if n_tasks < 1:
+            raise ConfigError(f"need at least one task, got {n_tasks}")
+        if n_tasks > self.total_cores:
+            raise ConfigError(
+                f"{n_tasks} tasks do not fit {self.n_nodes} nodes x "
+                f"{self.nodes[0].cores} cores ({self.total_cores} cores total); "
+                f"grow the cluster or shrink the job"
+            )
 
     def node_for_rank(self, rank: int, n_tasks: int) -> Node:
         """Block placement of MPI ranks onto nodes.
 
         Ranks fill each node up to its core count first (srun-style block
-        placement); oversubscribed jobs spread evenly instead.
+        placement).  Jobs larger than the cluster's core count are
+        rejected with a :class:`ConfigError`.
         """
+        self.validate_job_size(n_tasks)
         if not 0 <= rank < n_tasks:
             raise ConfigError(f"rank {rank} out of range for {n_tasks} tasks")
-        cores = self.nodes[0].cores
-        per_node = max(cores, -(-n_tasks // self.n_nodes))  # ceil division
-        index = min(rank // per_node, self.n_nodes - 1)
+        index = rank // self.nodes[0].cores
         return self.nodes[index]
 
     def nodes_for_job(self, n_tasks: int) -> list[Node]:

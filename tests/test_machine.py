@@ -116,7 +116,19 @@ class TestNodeAndCluster:
 
     def test_rank_out_of_range(self):
         with pytest.raises(ConfigError):
-            Cluster(n_nodes=1).node_for_rank(4, 4)
+            Cluster(n_nodes=2).node_for_rank(12, 12)
+
+    def test_oversubscription_rejected(self):
+        cluster = Cluster(n_nodes=2, cores_per_node=4)
+        with pytest.raises(ConfigError, match="do not fit"):
+            cluster.validate_job_size(9)
+        with pytest.raises(ConfigError, match="do not fit"):
+            cluster.node_for_rank(0, 9)
+        with pytest.raises(ConfigError, match="do not fit"):
+            cluster.nodes_for_job(9)
+        # A job that exactly fills the cores is fine.
+        cluster.validate_job_size(8)
+        assert len(cluster.nodes_for_job(8)) == 2
 
     def test_spawn_process(self):
         node = Node()

@@ -8,10 +8,14 @@ from hypothesis import strategies as st
 from repro.cache.cache import Cache
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import AccessKind, CacheHierarchy
+from repro.elf.image import Executable, SharedObject
 from repro.elf.symbols import Symbol, SymbolKind, SymbolTable, elf_hash
 from repro.fs.buffercache import BufferCache
 from repro.fs.files import FileImage
 from repro.fs.nfs import NFSServer
+from repro.linker.dynamic import DynamicLinker
+from repro.machine.context import ExecutionContext
+from repro.machine.node import Node
 from repro.mpi.communicator import Communicator
 from repro.mpi.serialization import serialize
 from repro.rng import SeededRng
@@ -173,6 +177,103 @@ def test_serialization_payload_positive_and_consistent(value):
     b = serialize(value)
     assert a.payload_bytes > 0
     assert a == b  # deterministic
+
+
+# -- symbol resolution (linker/resolver.py) -----------------------------
+
+_symbol_name = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _resolver_world(symbol_sets):
+    """Map one library per symbol set; returns (resolver ctx, scope)."""
+    libs = []
+    for index, names in enumerate(symbol_sets):
+        shared = SharedObject(soname=f"libp{index}.so", path=f"/nfs/libp{index}.so")
+        offset = 0
+        for name in names:
+            shared.add_symbol(
+                Symbol(name=name, kind=SymbolKind.FUNCTION, value=offset, size=32)
+            )
+            offset += 32
+        shared.finalize_sections(
+            text_bytes=max(64, offset), data_bytes=64, debug_bytes=64
+        )
+        libs.append(shared)
+    exe = Executable(soname="main", path="/nfs/main")
+    exe.add_symbol(Symbol(name="main", kind=SymbolKind.FUNCTION, value=0, size=32))
+    exe.needed.extend(lib.soname for lib in libs)
+    exe.finalize_sections(text_bytes=4096, data_bytes=64, debug_bytes=64)
+    nfs = NFSServer()
+    registry = {obj.soname: obj for obj in (exe, *libs)}
+    for obj in registry.values():
+        obj.publish(nfs)
+    node = Node()
+    process = node.spawn()
+    ctx = ExecutionContext(process)
+    linker = DynamicLinker(registry)
+    link_map = linker.start_program(process, exe, ctx)
+    scope = [obj for obj in link_map if obj.soname != "main"]
+    return linker.resolver, ctx, scope
+
+
+@_settings
+@given(
+    st.lists(
+        st.sets(_symbol_name, min_size=1, max_size=6),
+        min_size=1,
+        max_size=4,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_resolver_order_independent_for_unique_symbols(symbol_sets, shuffler):
+    # Make every symbol globally unique by prefixing its object index.
+    unique_sets = [
+        sorted(f"s{index}_{name}" for name in names)
+        for index, names in enumerate(symbol_sets)
+    ]
+    resolver, ctx, scope = _resolver_world(unique_sets)
+    shuffled = list(scope)
+    shuffler.shuffle(shuffled)
+    for index, names in enumerate(unique_sets):
+        for name in names:
+            in_order = resolver.lookup(ctx, scope, name)
+            in_shuffle = resolver.lookup(ctx, shuffled, name)
+            # Non-conflicting symbols resolve to the same definition in
+            # the same provider regardless of search-scope order.
+            assert in_order.provider is in_shuffle.provider
+            assert in_order.symbol is in_shuffle.symbol
+            assert in_order.address == in_shuffle.address
+            assert in_order.provider.soname == f"libp{index}.so"
+
+
+@_settings
+@given(
+    st.lists(
+        st.sets(_symbol_name, min_size=1, max_size=5),
+        min_size=2,
+        max_size=4,
+    )
+)
+def test_resolver_first_fit_wins_on_conflicts(symbol_sets):
+    resolver, ctx, scope = _resolver_world(
+        [sorted(names) for names in symbol_sets]
+    )
+    every_name = sorted(set().union(*symbol_sets))
+    for name in every_name:
+        result = resolver.lookup(ctx, scope, name)
+        # ELF interposition: the first scope member defining the symbol
+        # provides it, no matter how many later members also define it.
+        first = next(
+            obj
+            for obj in scope
+            if obj.shared_object.symbol_table.get(name) is not None
+        )
+        assert result.provider is first
+        assert result.objects_probed == scope.index(first) + 1
 
 
 @_settings

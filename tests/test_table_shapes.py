@@ -10,6 +10,7 @@ import pytest
 from repro.core.builds import BuildMode, build_benchmark
 from repro.core.config import PynamicConfig
 from repro.core.generator import generate
+from repro.core.job import PynamicJob
 from repro.core.runner import run_all_modes
 from repro.machine.cluster import Cluster
 from repro.tools.debugger import ParallelDebugger
@@ -81,6 +82,59 @@ class TestTable2Shape:
         vanilla = mid_results[BuildMode.VANILLA].report.counters["import"]
         link = mid_results[BuildMode.LINKED].report.counters["import"]
         assert vanilla.l1d_misses > link.l1d_misses
+
+
+class TestEngineGolden:
+    """Golden agreement between the analytic fast path and the
+    multi-rank discrete-event engine, so the old Table I/II job numbers
+    cannot silently drift when either engine changes."""
+
+    CONFIG = PynamicConfig(
+        n_modules=6,
+        n_utilities=3,
+        avg_functions=20,
+        seed=7,
+        name_length=0,
+        avg_body_instructions=40,
+    )
+
+    def _pair(self, **kwargs):
+        analytic = PynamicJob(config=self.CONFIG, **kwargs).run()
+        multirank = PynamicJob(
+            config=self.CONFIG, engine="multirank", **kwargs
+        ).run()
+        return analytic, multirank
+
+    def test_warm_single_rank_matches_within_1_percent(self):
+        analytic, multirank = self._pair(n_tasks=1, warm_file_cache=True)
+        for attr in ("startup_s", "import_s", "visit_s", "mpi_s", "total_s"):
+            assert getattr(multirank, attr) == pytest.approx(
+                getattr(analytic, attr), rel=0.01
+            ), attr
+
+    def test_cold_single_rank_matches_within_1_percent(self):
+        analytic, multirank = self._pair(n_tasks=1)
+        for attr in ("startup_s", "import_s", "visit_s", "total_s"):
+            assert getattr(multirank, attr) == pytest.approx(
+                getattr(analytic, attr), rel=0.01
+            ), attr
+
+    @pytest.mark.parametrize("n_tasks", [2, 4])
+    def test_small_cold_jobs_agree_in_envelope(self, n_tasks):
+        analytic, multirank = self._pair(n_tasks=n_tasks, cores_per_node=1)
+        # Job completion (slowest rank) stays close to the analytic
+        # closed form; the per-phase split may differ because queueing
+        # emerges in whichever phase the contention actually lands.
+        assert multirank.total_max == pytest.approx(analytic.total_s, rel=0.15)
+        assert multirank.import_max == pytest.approx(analytic.import_s, rel=0.5)
+
+    def test_warm_jobs_agree_at_any_scale(self):
+        analytic, multirank = self._pair(n_tasks=16, warm_file_cache=True)
+        # Warm caches mean no shared-resource traffic: the engines must
+        # agree on import/visit exactly and on totals up to MPI skew.
+        assert multirank.import_s == pytest.approx(analytic.import_s, rel=0.01)
+        assert multirank.visit_s == pytest.approx(analytic.visit_s, rel=0.01)
+        assert multirank.import_skew_s == 0.0
 
 
 class TestTable4Shape:
