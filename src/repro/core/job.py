@@ -31,6 +31,7 @@ from repro.core.config import PynamicConfig
 from repro.core.driver import DriverReport
 from repro.core.runner import BenchmarkRunner
 from repro.core.specs import BenchmarkSpec
+from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
 from repro.machine.cluster import Cluster
 from repro.machine.osprofile import OsProfile
@@ -94,6 +95,31 @@ class JobReport:
         return max(values) - min(values)
 
     @property
+    def startup_p50(self) -> float:
+        """Median per-rank startup time."""
+        return percentile(self._values("startup_s"), 50)
+
+    @property
+    def startup_p95(self) -> float:
+        """95th-percentile per-rank startup time."""
+        return percentile(self._values("startup_s"), 95)
+
+    @property
+    def startup_max(self) -> float:
+        """Slowest rank's startup time."""
+        return max(self._values("startup_s"))
+
+    @property
+    def startup_skew_s(self) -> float:
+        """Inter-rank startup skew: slowest minus fastest rank.
+
+        Nonzero only when startup-phase contention can interleave — i.e.
+        under the multi-rank engine's per-object stepped program start.
+        """
+        values = self._values("startup_s")
+        return max(values) - min(values)
+
+    @property
     def total_p50(self) -> float:
         """Median per-rank total (startup + import + visit)."""
         return percentile(self._values("total_s"), 50)
@@ -146,7 +172,8 @@ class PynamicJob:
     ``engine="analytic"`` (default) is the fast rank-0 path;
     ``engine="multirank"`` delegates to the discrete-event engine and
     accepts an optional :class:`repro.core.multirank.JobScenario` via
-    ``scenario``.
+    ``scenario``.  ``hash_style`` and ``prelink`` reach the build and
+    linker of either engine.
     """
 
     def __init__(
@@ -160,6 +187,8 @@ class PynamicJob:
         os_profile: OsProfile | None = None,
         engine: str = "analytic",
         scenario: "object | None" = None,
+        hash_style: HashStyle = HashStyle.SYSV,
+        prelink: bool = False,
     ) -> None:
         if n_tasks < 1:
             raise ConfigError(f"need at least one task, got {n_tasks}")
@@ -178,6 +207,8 @@ class PynamicJob:
         self.os_profile = os_profile
         self.engine = engine
         self.scenario = scenario
+        self.hash_style = hash_style
+        self.prelink = prelink
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
 
     def run(self) -> JobReport:
@@ -195,6 +226,8 @@ class PynamicJob:
                 warm_file_cache=self.warm_file_cache,
                 os_profile=self.os_profile,
                 scenario=self.scenario,  # type: ignore[arg-type]
+                hash_style=self.hash_style,
+                prelink=self.prelink,
             ).run()
         cluster = Cluster(n_nodes=self.n_nodes, cores_per_node=self.cores_per_node)
         # Every node's pager hits the NFS server during cold loading.
@@ -208,6 +241,8 @@ class PynamicJob:
                 n_tasks=self.n_tasks,
                 warm_file_cache=self.warm_file_cache,
                 os_profile=self.os_profile,
+                hash_style=self.hash_style,
+                prelink=self.prelink,
             )
             result = runner.run()
         finally:
@@ -228,6 +263,8 @@ def job_size_sweep(
     engine: str = "analytic",
     cores_per_node: int = 8,
     scenario: "object | None" = None,
+    hash_style: HashStyle = HashStyle.SYSV,
+    prelink: bool = False,
 ) -> dict[int, JobReport]:
     """Cold job runs across task counts (the extreme-scale question).
 
@@ -245,6 +282,8 @@ def job_size_sweep(
             warm_file_cache=warm_file_cache,
             engine=engine,
             scenario=scenario,
+            hash_style=hash_style,
+            prelink=prelink,
         )
         reports[n_tasks] = job.run()
     return reports

@@ -30,13 +30,13 @@ from repro.core.job import JobReport
 from repro.core.specs import BenchmarkSpec
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError, DriverError
-from repro.fs.files import FileImage
 from repro.linker.dynamic import DynamicLinker
 from repro.machine.cluster import Cluster
 from repro.machine.context import ExecutionContext
-from repro.machine.node import Node
+from repro.machine.costs import CostModel
+from repro.machine.node import Node, TimedReadNode
 from repro.machine.osprofile import OsProfile, linux_chaos
-from repro.machine.scheduler import EventScheduler, RankTask
+from repro.machine.scheduler import EventScheduler, RankTask, SteppedProgram
 from repro.mpi.api import MpiSession
 from repro.perf.timers import PhaseTimer
 from repro.rng import SeededRng
@@ -88,30 +88,42 @@ class JobScenario:
             and not self.node_os_profiles
         )
 
+    # -- shared per-node interpretation (job engine + multirank debugger) --
+    def validate_node_indices(self, n_nodes: int) -> None:
+        """Reject per-node knobs naming nodes outside an ``n_nodes`` job."""
+        for index in self.straggler_nodes:
+            if not 0 <= index < n_nodes:
+                raise ConfigError(
+                    f"straggler node {index} outside the {n_nodes}-node job"
+                )
+        if self.node_os_profiles:
+            for index in self.node_os_profiles:
+                if not 0 <= index < n_nodes:
+                    raise ConfigError(
+                        f"OS profile for node {index} outside the "
+                        f"{n_nodes}-node job"
+                    )
 
-class _RankNode(Node):
-    """One rank's core: a private clock sharing the home node's disk cache.
+    def node_costs(self, index: int, base: "CostModel") -> "CostModel":
+        """``base`` with the straggler slowdown applied if node ``index``
+        is throttled."""
+        if index not in self.straggler_nodes:
+            return base
+        return replace(
+            base,
+            frequency_hz=max(
+                1, int(base.frequency_hz / self.straggler_slowdown)
+            ),
+        )
 
-    File reads route through the backing file system's timed FIFO queue at
-    this rank's current virtual time, so concurrent ranks' reads contend.
-    """
-
-    def read_file(
-        self, image: FileImage, offset: int = 0, size: int | None = None
-    ) -> float:
-        def fetch(n_bytes: int, n_ops: int) -> float:
-            request_at = getattr(image.filesystem, "request_at", None)
-            if request_at is None:
-                return image.filesystem.read_seconds(n_bytes, n_ops)
-            now = self.clock.seconds
-            return request_at(now, n_bytes, n_ops) - now
-
-        seconds = self.buffer_cache.read_with(image, offset, size, fetch)
-        self.clock.add_seconds(seconds)
-        return seconds
+    def node_profile(self, index: int, default: OsProfile) -> OsProfile:
+        """The OS profile for node ``index`` (``default`` if unlisted)."""
+        if self.node_os_profiles:
+            return self.node_os_profiles.get(index, default)
+        return default
 
 
-class _SteppedDriver(PynamicDriver):
+class _SteppedDriver(PynamicDriver, SteppedProgram):
     """A :class:`PynamicDriver` resumable one module at a time.
 
     The MPI test is *not* run here — the engine synchronizes all ranks
@@ -165,7 +177,14 @@ class _SteppedDriver(PynamicDriver):
 
 
 class MultiRankJob:
-    """Run the benchmark as N interleaved per-rank simulations."""
+    """Run the benchmark as N interleaved per-rank simulations.
+
+    Startup interleaves per shared object (the stepped linker), imports
+    and visits per module.  ``batch_homogeneous=True`` (default) lets a
+    warm, zero-heterogeneity job simulate one representative rank and
+    replicate its report — the fast path that keeps >1k-rank warm
+    sweeps tractable; ``self.batched`` records whether it was taken.
+    """
 
     def __init__(
         self,
@@ -179,6 +198,7 @@ class MultiRankJob:
         scenario: JobScenario | None = None,
         hash_style: HashStyle = HashStyle.SYSV,
         prelink: bool = False,
+        batch_homogeneous: bool = True,
     ) -> None:
         if spec is None and config is None:
             raise ConfigError("provide a config or a pre-generated spec")
@@ -195,19 +215,11 @@ class MultiRankJob:
         self.scenario = scenario or JobScenario()
         self.hash_style = hash_style
         self.prelink = prelink
+        self.batch_homogeneous = batch_homogeneous
+        #: True once :meth:`run` took the homogeneous fast path.
+        self.batched = False
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
-        for index in self.scenario.straggler_nodes:
-            if not 0 <= index < self.n_nodes:
-                raise ConfigError(
-                    f"straggler node {index} outside the {self.n_nodes}-node job"
-                )
-        if self.scenario.node_os_profiles:
-            for index in self.scenario.node_os_profiles:
-                if not 0 <= index < self.n_nodes:
-                    raise ConfigError(
-                        f"OS profile for node {index} outside the "
-                        f"{self.n_nodes}-node job"
-                    )
+        self.scenario.validate_node_indices(self.n_nodes)
         self._drivers: dict[int, _SteppedDriver] = {}
 
     # ------------------------------------------------------------------
@@ -225,25 +237,30 @@ class MultiRankJob:
         for image in build.images.values():
             cluster.file_store.add(image)
         rng = SeededRng(getattr(self.spec.config, "seed", 0))
-        self._warm_caches(cluster, build, rng)
         self._drivers = {}
+        # Homogeneous warm fast path: every rank is an identical,
+        # independent simulation (all reads hit the node buffer caches,
+        # so no shared-resource coupling exists); simulate one
+        # representative and replicate its report.  Only the
+        # representative's node needs its cache warmed then, keeping the
+        # fast path O(1) in the node count too.
+        self.batched = (
+            self.batch_homogeneous
+            and self.n_tasks > 1
+            and self.warm_file_cache
+            and self.scenario.is_homogeneous
+        )
+        n_simulated = 1 if self.batched else self.n_tasks
+        self._warm_caches(
+            cluster, build, rng, node_indices=[0] if self.batched else None
+        )
         tasks: list[RankTask] = []
-        for rank in range(self.n_tasks):
+        for rank in range(n_simulated):
             node_index = rank // self.cores_per_node
             home = cluster.nodes[node_index]
-            costs = home.costs
-            if node_index in self.scenario.straggler_nodes:
-                costs = replace(
-                    costs,
-                    frequency_hz=max(
-                        1,
-                        int(costs.frequency_hz / self.scenario.straggler_slowdown),
-                    ),
-                )
-            profile = self.os_profile
-            if self.scenario.node_os_profiles:
-                profile = self.scenario.node_os_profiles.get(node_index, profile)
-            rank_node = _RankNode(
+            costs = self.scenario.node_costs(node_index, home.costs)
+            profile = self.scenario.node_profile(node_index, self.os_profile)
+            rank_node = TimedReadNode(
                 name=f"{home.name}:rank{rank}",
                 costs=costs,
                 buffer_cache=home.buffer_cache,
@@ -257,11 +274,15 @@ class MultiRankJob:
                 )
             )
         EventScheduler().run(tasks)
-        mpi_per_rank = self._mpi_phase(cluster)
+        mpi_per_rank = self._mpi_phase(cluster, n_simulated)
         per_rank = [
             self._drivers[rank].final_report(mpi_s=mpi_per_rank[rank])
-            for rank in range(self.n_tasks)
+            for rank in range(n_simulated)
         ]
+        if self.batched:
+            # Reports are read-only downstream, so every rank can share
+            # the representative's instance.
+            per_rank = per_rank * self.n_tasks
         return JobReport(
             n_tasks=self.n_tasks,
             n_nodes=self.n_nodes,
@@ -283,10 +304,16 @@ class MultiRankJob:
         return sorted(rng.fork("warm-mix").sample(range(self.n_nodes), count))
 
     def _warm_caches(
-        self, cluster: Cluster, build: BuildImage, rng: SeededRng
+        self,
+        cluster: Cluster,
+        build: BuildImage,
+        rng: SeededRng,
+        node_indices: "list[int] | None" = None,
     ) -> None:
         """Model prior activity leaving DLLs in some nodes' disk caches."""
-        for index in self._warm_nodes(rng):
+        if node_indices is None:
+            node_indices = self._warm_nodes(rng)
+        for index in node_indices:
             for image in build.images.values():
                 cluster.nodes[index].buffer_cache.read(image)
 
@@ -315,7 +342,10 @@ class MultiRankJob:
             )
         yield
         linker = DynamicLinker(build.registry, prelink=self.prelink)
-        linker.start_program(process, build.executable, ctx)
+        # Per-object startup: one step per shared object mapped, relocated
+        # or PLT-filled, so cold-start NFS contention interleaves across
+        # ranks during program start — not just during imports.
+        yield from linker.start_program_steps(process, build.executable, ctx)
         ctx.work(ctx.costs.interpreter_boot_instructions)
         driver = _SteppedDriver(
             build=build, linker=linker, process=process, ctx=ctx
@@ -324,16 +354,19 @@ class MultiRankJob:
         yield
         yield from driver.steps()
 
-    def _mpi_phase(self, cluster: Cluster) -> list[float]:
+    def _mpi_phase(self, cluster: Cluster, n_simulated: int) -> list[float]:
         """Barrier every rank, run the collective self-test, charge waits.
 
         Each rank's MPI time is its wait for the slowest rank plus the
         collective itself — which is how stragglers tax the whole job.
+        ``n_simulated`` is the number of ranks actually driven (1 on the
+        batched homogeneous path); the collective still runs at the full
+        ``n_tasks`` width either way.
         """
         if not getattr(self.spec.config, "mpi_test", False):
-            return [0.0] * self.n_tasks
+            return [0.0] * n_simulated
         finish = [
-            self._drivers[rank].ctx.seconds for rank in range(self.n_tasks)
+            self._drivers[rank].ctx.seconds for rank in range(n_simulated)
         ]
         t_max = max(finish)
         slowest = finish.index(t_max)
@@ -341,9 +374,9 @@ class MultiRankJob:
         ctx = self._drivers[slowest].ctx
         session.run_selftest(ctx)
         end_s = ctx.seconds
-        for rank in range(self.n_tasks):
+        for rank in range(n_simulated):
             if rank != slowest:
                 self._drivers[rank].ctx.node.clock.add_seconds(
                     end_s - finish[rank]
                 )
-        return [end_s - finish[rank] for rank in range(self.n_tasks)]
+        return [end_s - finish[rank] for rank in range(n_simulated)]

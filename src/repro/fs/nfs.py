@@ -11,7 +11,7 @@ server-side concurrency cap beyond which requests simply queue).
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.fs.reservation import reserve
+from repro.fs.reservation import reserve, reserve_ops
 
 
 class NFSServer:
@@ -23,13 +23,19 @@ class NFSServer:
         bandwidth_bps: float = 25e6,
         latency_s: float = 0.002,
         max_concurrency: int = 64,
+        iops_limit: float | None = 20_000.0,
     ) -> None:
         if bandwidth_bps <= 0 or latency_s < 0 or max_concurrency < 1:
             raise ConfigError("invalid NFS parameters")
+        if iops_limit is not None and iops_limit <= 0:
+            raise ConfigError(f"IOPS limit must be positive, got {iops_limit}")
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.latency_s = latency_s
         self.max_concurrency = max_concurrency
+        #: Server-side RPC processing rate (requests/second) for the timed
+        #: queueing interface; ``None`` lets RPCs pipeline without limit.
+        self.iops_limit = iops_limit
         self.concurrent_clients = 1
         self.bytes_served = 0
         self.requests_served = 0
@@ -37,6 +43,9 @@ class NFSServer:
         #: pipe is transferring — state of the timed queueing interface
         #: used by the multi-rank engine (:meth:`request_at`).
         self._reservations: list[tuple[float, float]] = []
+        #: Windows during which the server's RPC machinery is occupied
+        #: (the IOPS-saturation term for request-heavy small reads).
+        self._op_reservations: list[tuple[float, float]] = []
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -68,6 +77,7 @@ class NFSServer:
     def reset_queue(self) -> None:
         """Forget queued work — call once per simulated job."""
         self._reservations = []
+        self._op_reservations = []
 
     def request_at(self, start_s: float, n_bytes: int, n_ops: int = 1) -> float:
         """A read request arriving at virtual time ``start_s``; returns its
@@ -75,7 +85,10 @@ class NFSServer:
 
         Per-request protocol latency pipelines across clients (the server
         processes RPCs concurrently, matching the analytic model below its
-        concurrency cap), but the data *transfer* must reserve the single
+        concurrency cap) — but only up to the server's ``iops_limit``:
+        each RPC occupies a slice of a serial request-processing timeline,
+        so a storm of small reads queues at the server even when the data
+        pipe is idle.  The data *transfer* then reserves the single
         full-bandwidth pipe: it books the earliest free window at or after
         its arrival.  Concurrent clients therefore see the analytic
         model's aggregate throughput plus the per-client *skew* (early
@@ -92,7 +105,10 @@ class NFSServer:
             raise ConfigError(f"negative request time: {start_s}")
         self.bytes_served += n_bytes
         self.requests_served += n_ops
-        arrival = start_s + n_ops * self.latency_s
+        queue_delay = reserve_ops(
+            self._op_reservations, start_s, n_ops, self.iops_limit
+        )
+        arrival = start_s + queue_delay + n_ops * self.latency_s
         service = n_bytes / self.bandwidth_bps
         if service <= 0.0:
             return arrival

@@ -10,7 +10,7 @@ scalability experiment (DESIGN.md S3).
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.fs.reservation import book, earliest_gap
+from repro.fs.reservation import book, earliest_gap, reserve_ops
 
 
 class ParallelFileSystem:
@@ -22,13 +22,20 @@ class ParallelFileSystem:
         aggregate_bandwidth_bps: float = 400e6,
         latency_s: float = 0.0005,
         n_targets: int = 16,
+        iops_limit: float | None = 100_000.0,
     ) -> None:
         if aggregate_bandwidth_bps <= 0 or latency_s < 0 or n_targets < 1:
             raise ConfigError("invalid parallel FS parameters")
+        if iops_limit is not None and iops_limit <= 0:
+            raise ConfigError(f"IOPS limit must be positive, got {iops_limit}")
         self.name = name
         self.aggregate_bandwidth_bps = aggregate_bandwidth_bps
         self.latency_s = latency_s
         self.n_targets = n_targets
+        #: Metadata/RPC processing rate (requests/second) across the
+        #: whole file system for the timed queueing interface; ``None``
+        #: lets RPCs pipeline without limit.
+        self.iops_limit = iops_limit
         self.concurrent_clients = 1
         self.bytes_served = 0
         self.requests_served = 0
@@ -37,6 +44,10 @@ class ParallelFileSystem:
         self._target_reservations: list[list[tuple[float, float]]] = [
             [] for _ in range(n_targets)
         ]
+        #: Windows during which the file system's RPC machinery is
+        #: occupied (shared across targets — the metadata path is one
+        #: service even on a striped store).
+        self._op_reservations: list[tuple[float, float]] = []
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -67,13 +78,16 @@ class ParallelFileSystem:
     def reset_queue(self) -> None:
         """Forget queued work — call once per simulated job."""
         self._target_reservations = [[] for _ in range(self.n_targets)]
+        self._op_reservations = []
 
     def request_at(self, start_s: float, n_bytes: int, n_ops: int = 1) -> float:
         """A read arriving at ``start_s``; returns its completion time.
 
-        Protocol latency pipelines; the transfer books the earliest free
-        window on whichever storage target can start it soonest, at one
-        stripe's bandwidth.  Up to ``n_targets`` clients proceed without
+        Protocol latency pipelines up to the ``iops_limit`` RPC rate
+        (small-read storms queue at the metadata/RPC path even on a
+        striped store); the transfer books the earliest free window on
+        whichever storage target can start it soonest, at one stripe's
+        bandwidth.  Up to ``n_targets`` clients proceed without
         queueing — the striped scalability the paper contrasts with NFS.
         """
         if n_bytes < 0 or n_ops < 0:
@@ -83,7 +97,10 @@ class ParallelFileSystem:
         self.bytes_served += n_bytes
         self.requests_served += n_ops
         per_target = self.aggregate_bandwidth_bps / self.n_targets
-        arrival = start_s + n_ops * self.latency_s
+        queue_delay = reserve_ops(
+            self._op_reservations, start_s, n_ops, self.iops_limit
+        )
+        arrival = start_s + queue_delay + n_ops * self.latency_s
         service = n_bytes / per_target
         if service <= 0.0:
             return arrival

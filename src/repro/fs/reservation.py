@@ -43,3 +43,27 @@ def reserve(
     begin = earliest_gap(reservations, arrival, service)
     book(reservations, begin, service)
     return begin
+
+
+def reserve_ops(
+    reservations: list[tuple[float, float]],
+    arrival: float,
+    n_ops: int,
+    iops_limit: float | None,
+) -> float:
+    """Queueing delay before a server limited to ``iops_limit`` RPCs/s can
+    accept ``n_ops`` more requests arriving at ``arrival``.
+
+    Each RPC occupies ``1 / iops_limit`` seconds of server request
+    processing on a serial ops timeline — the saturation the per-request
+    latency alone cannot express, because latency pipelines across
+    clients without limit.  An unloaded request starts immediately
+    (delay 0), so the unloaded completion time still matches the
+    analytic model; under a storm of small reads the delay grows with
+    the backlog.  ``iops_limit=None`` disables the term.
+    """
+    if iops_limit is None or n_ops <= 0:
+        return 0.0
+    service = n_ops / iops_limit
+    begin = reserve(reservations, arrival, service)
+    return begin - arrival

@@ -18,11 +18,17 @@ Two grid shapes cover the harness experiments:
 Workers must re-import this module, so the evaluation functions are
 plain top-level functions of picklable arguments, and results are
 reduced to report dataclasses (never clusters or linkers).
+
+With ``SweepRunner(cache_dir=...)`` results also persist on disk keyed
+by a hash of the grid point, so repeated studies — and CI re-runs —
+skip recomputation across processes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 from multiprocessing import get_context
 from typing import Callable, Sequence
 
@@ -31,6 +37,7 @@ from repro.core.config import PynamicConfig
 from repro.core.driver import DriverReport
 from repro.core.job import JobReport, PynamicJob
 from repro.core.runner import run_all_modes
+from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
 
 #: Hard cap on worker processes — grid points are coarse, so more
@@ -40,7 +47,17 @@ MAX_WORKERS = 8
 
 def _eval_job_point(point: tuple) -> JobReport:
     """Evaluate one N-task job grid point (top-level for pickling)."""
-    config, n_tasks, mode_value, warm, engine, cores_per_node, scenario = point
+    (
+        config,
+        n_tasks,
+        mode_value,
+        warm,
+        engine,
+        cores_per_node,
+        scenario,
+        hash_style_value,
+        prelink,
+    ) = point
     return PynamicJob(
         config=config,
         mode=BuildMode(mode_value),
@@ -49,6 +66,8 @@ def _eval_job_point(point: tuple) -> JobReport:
         warm_file_cache=warm,
         engine=engine,
         scenario=scenario,
+        hash_style=HashStyle(hash_style_value),
+        prelink=prelink,
     ).run()
 
 
@@ -66,16 +85,66 @@ class SweepRunner:
     for tests and for tiny grids.  Results are memoized per (function,
     point) so regenerating overlapping tables (or re-running an
     experiment in the same process) re-simulates nothing.
+
+    ``cache_dir`` adds a disk layer under the in-memory one: each
+    result is pickled to ``<cache_dir>/<sha256 of function+point>.pkl``,
+    so a fresh process (a CI run, a notebook restart) replays previous
+    studies without re-simulating.  Points must therefore have stable
+    ``repr``s — true for the config/scenario dataclasses the grids use.
+    Disk loads count as ``hits``.
     """
 
-    def __init__(self, workers: int | None = None, memoize: bool = True) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        memoize: bool = True,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"need at least one worker, got {workers}")
+        if cache_dir is not None and not memoize:
+            raise ConfigError(
+                "cache_dir requires memoize=True (the disk layer sits "
+                "under the in-memory memo)"
+            )
         self.workers = workers
         self.memoize = memoize
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
         self._memo: dict[tuple[str, str], object] = {}
         self.hits = 0
         self.misses = 0
+
+    # -- disk layer --------------------------------------------------------
+    def _cache_path(self, key: tuple[str, str]) -> str:
+        digest = hashlib.sha256(f"{key[0]}:{key[1]}".encode()).hexdigest()
+        return os.path.join(self.cache_dir, f"{digest}.pkl")  # type: ignore[arg-type]
+
+    def _disk_load(self, key: tuple[str, str]) -> object | None:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Any unreadable entry — missing, torn, or pickled against an
+            # older version of the report classes (AttributeError /
+            # ImportError / TypeError on load) — is a cache miss, never
+            # a crash: the point is recomputed and the entry rewritten.
+            return None
+
+    def _disk_store(self, key: tuple[str, str], result: object) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._cache_path(key)
+        # Write-then-rename so a crashed run never leaves a torn pickle
+        # for the next process to trip over.
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp, path)
 
     def _worker_count(self, n_points: int) -> int:
         if self.workers is not None:
@@ -99,16 +168,25 @@ class SweepRunner:
             if key in self._memo:
                 results[index] = self._memo[key]
                 self.hits += 1
-            elif key in compute:
+                continue
+            if key in compute:
                 self.hits += 1  # duplicate of a point already queued
-            else:
-                compute[key] = index
-                self.misses += 1
+                continue
+            cached = self._disk_load(key)
+            if cached is not None:
+                self._memo[key] = cached
+                results[index] = cached
+                self.hits += 1
+                continue
+            compute[key] = index
+            self.misses += 1
         if compute:
             computed = self._evaluate(
                 func, [points[index] for index in compute.values()]
             )
             self._memo.update(zip(compute.keys(), computed))
+            for key, result in zip(compute.keys(), computed):
+                self._disk_store(key, result)
             for index, key in enumerate(keys):
                 if index not in results:
                     results[index] = self._memo[key]
@@ -142,12 +220,24 @@ def sweep_job_reports(
     engine: str = "analytic",
     cores_per_node: int = 8,
     scenario: "object | None" = None,
+    hash_style: HashStyle = HashStyle.SYSV,
+    prelink: bool = False,
     runner: SweepRunner | None = None,
 ) -> dict[int, JobReport]:
     """Parallel, memoized equivalent of :func:`repro.core.job.job_size_sweep`."""
     runner = runner or DEFAULT_RUNNER
     points = [
-        (config, n, mode.value, warm_file_cache, engine, cores_per_node, scenario)
+        (
+            config,
+            n,
+            mode.value,
+            warm_file_cache,
+            engine,
+            cores_per_node,
+            scenario,
+            hash_style.value,
+            prelink,
+        )
         for n in task_counts
     ]
     reports = runner.map(_eval_job_point, points)

@@ -20,11 +20,16 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.core import presets
-from repro.core.builds import BuildMode, build_benchmark
+from repro.core.builds import BuildImage, BuildMode, build_benchmark
 from repro.core.generator import generate
+from repro.core.multirank import JobScenario
 from repro.harness.experiments import ExperimentResult, register
 from repro.machine.cluster import Cluster
-from repro.tools.debugger import DebuggerStartup, ParallelDebugger
+from repro.tools.debugger import (
+    DebuggerStartup,
+    MultirankDebuggerStartup,
+    ParallelDebugger,
+)
 from repro.units import format_mmss, parse_mmss
 
 #: The paper's Table IV (seconds, parsed from mm:ss).
@@ -114,5 +119,72 @@ def run() -> ExperimentResult:
     result.notes.append(
         "phase 2 is event-handling bound (no file IO), so cache warmth "
         "barely moves it — the paper's key observation"
+    )
+    return result
+
+
+def _table4_build(n_nodes: int) -> tuple[Cluster, BuildImage]:
+    """A fresh small cluster + pre-linked build for the multirank study."""
+    cluster = Cluster(n_nodes=n_nodes)
+    spec = generate(presets.tiny())
+    build = build_benchmark(spec, cluster.nfs, BuildMode.LINKED)
+    for image in build.images.values():
+        cluster.file_store.add(image)
+    return cluster, build
+
+
+def debugger_multirank_rows(
+    n_tasks: int = 16, n_nodes: int = 4
+) -> dict[str, MultirankDebuggerStartup]:
+    """Cold, warm and straggler multirank debugger startups (small scale)."""
+    runs: dict[str, MultirankDebuggerStartup] = {}
+    cluster, build = _table4_build(n_nodes)
+    debugger = ParallelDebugger(cluster, n_tasks=n_tasks)
+    runs["cold"] = debugger.startup_multirank(build, cold=True)
+    runs["warm"] = debugger.startup_multirank(build, cold=False)
+    straggled = JobScenario(straggler_nodes=(1,), straggler_slowdown=2.0)
+    cluster2, build2 = _table4_build(n_nodes)
+    runs["cold+straggler"] = ParallelDebugger(
+        cluster2, n_tasks=n_tasks
+    ).startup_multirank(build2, cold=True, scenario=straggled)
+    return runs
+
+
+@register("table4_multirank")
+def run_multirank() -> ExperimentResult:
+    """Table IV per-daemon skew on the multirank engine (small scale)."""
+    runs = debugger_multirank_rows()
+    result = ExperimentResult(
+        name="Multirank debugger startup: per-daemon skew",
+        paper_reference="Table IV (tool-startup problem, per-daemon view)",
+    )
+    rows = [
+        [
+            label,
+            format_mmss(startup.total_s),
+            f"{startup.daemon_p50:.4f}",
+            f"{startup.daemon_p95:.4f}",
+            f"{startup.daemon_max:.4f}",
+            f"{startup.daemon_skew_s:.4f}",
+        ]
+        for label, startup in runs.items()
+    ]
+    result.add_table(
+        "per-daemon phase-1 IO+parse seconds (stepped debug servers on "
+        "the shared NFS timed queue)",
+        ["run", "total", "p50", "p95", "max", "skew"],
+        rows,
+    )
+    result.metrics.update(
+        {
+            "cold_daemon_skew_s": runs["cold"].daemon_skew_s,
+            "warm_daemon_skew_s": runs["warm"].daemon_skew_s,
+            "straggler_daemon_skew_s": runs["cold+straggler"].daemon_skew_s,
+        }
+    )
+    result.notes.append(
+        "warm daemons hit the node buffer caches and show zero skew; "
+        "cold daemons queue on the NFS pipe, and a straggler node "
+        "parses its DWARF at half speed"
     )
     return result

@@ -19,7 +19,7 @@ This module implements the behaviours Table I hinges on:
 
 from __future__ import annotations
 
-from typing import Mapping as TypingMapping
+from typing import Generator, Mapping as TypingMapping
 
 from repro.elf.image import Executable, SharedObject
 from repro.elf.linkmap import LinkMap, LoadedObject
@@ -30,7 +30,36 @@ from repro.errors import LinkError
 from repro.linker.resolver import ResolutionResult, SymbolResolver
 from repro.machine.context import ExecutionContext
 from repro.machine.node import Process
+from repro.machine.scheduler import SteppedProgram, drain
 from repro.perf.tracing import EventKind, EventTrace
+
+
+class SteppedStartup(SteppedProgram):
+    """One process's program startup as a schedulable stepped program.
+
+    Packages :meth:`DynamicLinker.start_program_steps` for the
+    stepped-execution layer: after the generator is exhausted (by an
+    :class:`EventScheduler` or :func:`drain`), ``link_map`` holds the
+    completed process link map.
+    """
+
+    def __init__(
+        self,
+        linker: "DynamicLinker",
+        process: Process,
+        executable: Executable,
+        ctx: ExecutionContext,
+    ) -> None:
+        self.linker = linker
+        self.process = process
+        self.executable = executable
+        self.ctx = ctx
+        self.link_map: LinkMap | None = None
+
+    def steps(self) -> Generator[None, None, None]:
+        self.link_map = yield from self.linker.start_program_steps(
+            self.process, self.executable, self.ctx
+        )
 
 
 class DynamicLinker:
@@ -84,12 +113,31 @@ class DynamicLinker:
     ) -> LinkMap:
         """Exec the program: map it, its deps, and apply startup relocations.
 
-        Returns the process link map (also attached to ``process``).
+        Thin wrapper draining :meth:`start_program_steps`, so the analytic
+        path charges exactly the costs the stepped path would.  Returns
+        the process link map (also attached to ``process``).
+        """
+        return drain(self.start_program_steps(process, executable, ctx))
+
+    def start_program_steps(
+        self,
+        process: Process,
+        executable: Executable,
+        ctx: ExecutionContext,
+    ) -> Generator[None, None, LinkMap]:
+        """Program startup as a per-object step generator.
+
+        Yields after each unit of startup work — one object mapped, one
+        object's data relocations applied, one object's PLT filled under
+        LD_BIND_NOW — so a discrete-event scheduler can interleave the
+        startup phases of many ranks at the resolution the paper measures
+        (per-DLL map/relocate/resolve costs).  Returns the link map.
         """
         link_map = LinkMap()
         process.link_map = link_map
         ctx.work(ctx.costs.exec_base_instructions)
         self._map_object(process, ctx, executable, link_map, global_scope=True)
+        yield
         # Breadth-first DT_NEEDED closure, preserving link order.
         queue = list(executable.needed)
         while queue:
@@ -101,13 +149,16 @@ class DynamicLinker:
             queue.extend(
                 dep for dep in shared.needed if dep not in link_map
             )
+            yield
         # Eager data relocations for every startup object.
         for obj in link_map:
             self._apply_data_relocations(ctx, obj, link_map)
+            yield
         # LD_BIND_NOW: the Link+Bind row — fill every PLT at startup.
         if process.bind_now:
             for obj in link_map:
                 self.resolve_all_plt(ctx, obj, link_map)
+                yield
         return link_map
 
     # ------------------------------------------------------------------

@@ -81,6 +81,33 @@ class Node:
         return f"Node({self.name}, t={self.seconds:.3f}s)"
 
 
+class TimedReadNode(Node):
+    """A node whose file reads contend on the shared timed FS queues.
+
+    Used for every entity with a private virtual clock that the
+    stepped-execution layer interleaves — simulated MPI ranks, debugger
+    daemons.  It shares its home node's disk buffer cache, and cache
+    misses route through the backing file system's timed reservation
+    queue (``request_at``) at this clock's current virtual time, so
+    concurrent readers' requests contend instead of being charged the
+    analytic closed form.
+    """
+
+    def read_file(
+        self, image: FileImage, offset: int = 0, size: int | None = None
+    ) -> float:
+        def fetch(n_bytes: int, n_ops: int) -> float:
+            request_at = getattr(image.filesystem, "request_at", None)
+            if request_at is None:
+                return image.filesystem.read_seconds(n_bytes, n_ops)
+            now = self.clock.seconds
+            return request_at(now, n_bytes, n_ops) - now
+
+        seconds = self.buffer_cache.read_with(image, offset, size, fetch)
+        self.clock.add_seconds(seconds)
+        return seconds
+
+
 class Process:
     """A simulated process: address space, environment, link map slot."""
 

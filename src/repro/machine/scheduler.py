@@ -1,28 +1,66 @@
-"""Discrete-event scheduling of per-rank virtual clocks.
+"""The stepped-execution layer: discrete-event scheduling of virtual clocks.
 
-The multi-rank job engine (:mod:`repro.core.multirank`) gives every
-simulated MPI rank its own clock and runs each rank's work as a resumable
-generator.  The :class:`EventScheduler` interleaves those generators on a
-shared virtual timeline with a *least-virtual-time-first* policy: the rank
-whose clock is furthest behind always runs its next step.  Shared-resource
-requests (NFS reads through the timed queueing interface) are therefore
-issued in approximately nondecreasing virtual time, which is what lets
-contention, queueing delay and inter-rank skew *emerge* from the model
-instead of being charged as closed-form corrections.
+Every consumer of a per-entity virtual clock — the multi-rank job engine
+(:mod:`repro.core.multirank`), the stepped dynamic-linker startup
+(:meth:`DynamicLinker.start_program_steps`), the multirank parallel
+debugger (:mod:`repro.tools.debugger`) — expresses its work as a
+:class:`SteppedProgram`: a resumable generator of fine-grained steps.  The
+:class:`EventScheduler` interleaves those generators on a shared virtual
+timeline with a *least-virtual-time-first* policy: the entity whose clock
+is furthest behind always runs its next step.  Shared-resource requests
+(NFS reads through the timed queueing interface) are therefore issued in
+approximately nondecreasing virtual time, which is what lets contention,
+queueing delay and inter-rank skew *emerge* from the model instead of
+being charged as closed-form corrections.
 
 The approximation: a step is atomic, so a long step can advance one rank
 past a peer that then issues an earlier-timestamped request.  The timed
 file-system queues tolerate this (service never begins before the request's
-own start time), and the engine keeps steps fine-grained — one module
-import or visit per step — so the reordering window stays small.
+own start time), and consumers keep steps fine-grained — one shared object
+mapped, one module imported, one module visited per step — so the
+reordering window stays small.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generator, Sequence
+from typing import Callable, Generator, Sequence, TypeVar
 
 from repro.errors import ConfigError
+
+_T = TypeVar("_T")
+
+
+class SteppedProgram:
+    """A unit of per-entity work runnable one fine-grained step at a time.
+
+    Implementations expose :meth:`steps`, a generator that yields after
+    each unit of work (one object mapped, one module imported, one DLL's
+    debug sections parsed).  Anything holding a ``SteppedProgram`` can
+    either interleave it on an :class:`EventScheduler` (via
+    :meth:`RankTask.from_program`) or run it to completion inline with
+    :func:`drain` — the two paths charge identical costs, which is what
+    keeps the analytic fast paths validated against the stepped ones.
+    """
+
+    def steps(self) -> Generator[None, None, None]:
+        """Yield after each unit of work."""
+        raise NotImplementedError
+
+
+def drain(steps: Generator[None, None, _T]) -> _T:
+    """Run a step generator to completion; returns its return value.
+
+    The inline twin of scheduling the generator as a :class:`RankTask`:
+    monolithic wrappers (``DynamicLinker.start_program``) drain the same
+    generator the scheduler would interleave, so the stepped and atomic
+    paths cannot drift apart.
+    """
+    while True:
+        try:
+            next(steps)
+        except StopIteration as stop:
+            return stop.value
 
 
 class RankTask:
@@ -44,6 +82,13 @@ class RankTask:
         self._now = now
         self.done = False
         self.steps_run = 0
+
+    @classmethod
+    def from_program(
+        cls, rank: int, program: SteppedProgram, now: Callable[[], float]
+    ) -> "RankTask":
+        """Wrap a :class:`SteppedProgram` for the scheduler."""
+        return cls(rank, program.steps(), now)
 
     @property
     def now(self) -> float:

@@ -242,8 +242,11 @@ class TestTimedQueues:
         assert nfs.request_at(0.0, 1_000_000) == pytest.approx(1.0)
 
     def test_pfs_stripes_across_targets(self):
+        # iops_limit=None isolates the striped-transfer behaviour from
+        # the RPC-saturation term (exercised in TestIopsSaturation).
         pfs = ParallelFileSystem(
-            aggregate_bandwidth_bps=2e6, latency_s=0.0, n_targets=2
+            aggregate_bandwidth_bps=2e6, latency_s=0.0, n_targets=2,
+            iops_limit=None,
         )
         # Two concurrent clients land on distinct targets: no queueing.
         assert pfs.request_at(0.0, 1_000_000) == pytest.approx(1.0)
@@ -293,6 +296,39 @@ class TestSweepRunner:
     def test_worker_validation(self):
         with pytest.raises(ConfigError):
             SweepRunner(workers=0)
+
+    def test_cache_dir_requires_memoization(self, tmp_path):
+        with pytest.raises(ConfigError):
+            SweepRunner(workers=1, memoize=False, cache_dir=tmp_path)
+
+    def test_disk_cache_survives_processes(self, small_config, tmp_path):
+        first = SweepRunner(workers=1, cache_dir=tmp_path)
+        computed = sweep_job_reports(small_config, [2], runner=first)
+        assert (first.hits, first.misses) == (0, 1)
+        # A fresh runner models a fresh process/CI run: the memo dict is
+        # empty but the disk layer replays the result.
+        second = SweepRunner(workers=1, cache_dir=tmp_path)
+        replayed = sweep_job_reports(small_config, [2], runner=second)
+        assert (second.hits, second.misses) == (1, 0)
+        assert replayed[2].total_s == computed[2].total_s
+        assert replayed[2].import_s == computed[2].import_s
+
+    def test_disk_cache_distinguishes_points(self, small_config, tmp_path):
+        runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        sweep_job_reports(small_config, [2], runner=runner)
+        fresh = SweepRunner(workers=1, cache_dir=tmp_path)
+        sweep_job_reports(small_config, [4], runner=fresh)
+        assert (fresh.hits, fresh.misses) == (0, 1)
+
+    def test_disk_cache_tolerates_corruption(self, small_config, tmp_path):
+        runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        sweep_job_reports(small_config, [2], runner=runner)
+        for entry in tmp_path.iterdir():
+            entry.write_bytes(b"not a pickle")
+        fresh = SweepRunner(workers=1, cache_dir=tmp_path)
+        reports = sweep_job_reports(small_config, [2], runner=fresh)
+        assert fresh.misses == 1  # recomputed, not crashed
+        assert reports[2].total_s > 0.0
 
 
 class TestModeParity:
