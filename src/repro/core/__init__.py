@@ -11,7 +11,8 @@
 - :mod:`repro.core.runner` — one-call benchmark runs on a simulated node,
 - :mod:`repro.core.job` — N-task jobs (the analytic rank-0 fast path),
 - :mod:`repro.core.multirank` — the multi-rank discrete-event engine
-  with per-rank skew and heterogeneity scenarios,
+  with per-rank skew, heterogeneity scenarios and the
+  library-distribution overlay hook (:mod:`repro.dist`),
 - :mod:`repro.core.presets` — configurations incl. the LLNL multiphysics
   model from Section IV.
 """
@@ -30,6 +31,7 @@ from repro.core.driver import DriverReport, PynamicDriver
 from repro.core.runner import BenchmarkRunner, RunResult
 from repro.core.job import JobReport, PynamicJob, job_size_sweep
 from repro.core.multirank import JobScenario, MultiRankJob
+from repro.dist.topology import DistributionSpec, Topology
 from repro.core import presets
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "BenchmarkSpec",
     "BuildImage",
     "BuildMode",
+    "DistributionSpec",
     "DriverReport",
     "FunctionSpec",
     "JobReport",
@@ -48,6 +51,7 @@ __all__ = [
     "PynamicJob",
     "RunResult",
     "SystemLibSpec",
+    "Topology",
     "UtilitySpec",
     "build_benchmark",
     "generate",

@@ -67,6 +67,11 @@ class JobReport:
     engine: str = "analytic"
     #: One report per rank (multi-rank engine only).
     per_rank: list[DriverReport] | None = field(default=None, repr=False)
+    #: Library-distribution strategy label ("none" = demand-paged NFS).
+    distribution: str = "none"
+    #: Per-node staging-completion seconds when a distribution overlay
+    #: ran (when node i held the full DLL set; multi-rank engine only).
+    staging_per_node: list[float] | None = field(default=None, repr=False)
 
     def _values(self, attr: str) -> list[float]:
         reports = self.per_rank if self.per_rank else [self.rank0]
@@ -140,6 +145,36 @@ class JobReport:
         values = self._values("total_s")
         return max(values) - min(values)
 
+    # -- staging phase (distribution overlay only) -------------------------
+    @property
+    def staging_p50(self) -> float:
+        """Median per-node staging-completion time (0 without an overlay)."""
+        if not self.staging_per_node:
+            return 0.0
+        return percentile(self.staging_per_node, 50)
+
+    @property
+    def staging_p95(self) -> float:
+        """95th-percentile per-node staging time (0 without an overlay)."""
+        if not self.staging_per_node:
+            return 0.0
+        return percentile(self.staging_per_node, 95)
+
+    @property
+    def staging_max(self) -> float:
+        """When the *last* node held the full DLL set — the overlay's
+        makespan (0 without an overlay)."""
+        if not self.staging_per_node:
+            return 0.0
+        return max(self.staging_per_node)
+
+    @property
+    def staging_skew_s(self) -> float:
+        """Inter-node staging skew: last minus first node done."""
+        if not self.staging_per_node:
+            return 0.0
+        return max(self.staging_per_node) - min(self.staging_per_node)
+
     @property
     def startup_s(self) -> float:
         """Job startup (launcher + loader + interpreter)."""
@@ -172,8 +207,11 @@ class PynamicJob:
     ``engine="analytic"`` (default) is the fast rank-0 path;
     ``engine="multirank"`` delegates to the discrete-event engine and
     accepts an optional :class:`repro.core.multirank.JobScenario` via
-    ``scenario``.  ``hash_style`` and ``prelink`` reach the build and
-    linker of either engine.
+    ``scenario`` plus an optional
+    :class:`repro.dist.topology.DistributionSpec` via ``distribution``
+    (the library-distribution overlay: cold DLL reads are staged by
+    relay daemons instead of demand-paged from NFS).  ``hash_style`` and
+    ``prelink`` reach the build and linker of either engine.
     """
 
     def __init__(
@@ -189,6 +227,7 @@ class PynamicJob:
         scenario: "object | None" = None,
         hash_style: HashStyle = HashStyle.SYSV,
         prelink: bool = False,
+        distribution: "object | None" = None,
     ) -> None:
         if n_tasks < 1:
             raise ConfigError(f"need at least one task, got {n_tasks}")
@@ -198,6 +237,10 @@ class PynamicJob:
             )
         if scenario is not None and engine != "multirank":
             raise ConfigError("scenarios require engine='multirank'")
+        if distribution is not None and engine != "multirank":
+            raise ConfigError(
+                "distribution overlays require engine='multirank'"
+            )
         self.config = config
         self.spec = spec
         self.mode = mode
@@ -209,6 +252,7 @@ class PynamicJob:
         self.scenario = scenario
         self.hash_style = hash_style
         self.prelink = prelink
+        self.distribution = distribution
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
 
     def run(self) -> JobReport:
@@ -228,6 +272,7 @@ class PynamicJob:
                 scenario=self.scenario,  # type: ignore[arg-type]
                 hash_style=self.hash_style,
                 prelink=self.prelink,
+                distribution=self.distribution,  # type: ignore[arg-type]
             ).run()
         cluster = Cluster(n_nodes=self.n_nodes, cores_per_node=self.cores_per_node)
         # Every node's pager hits the NFS server during cold loading.
@@ -265,6 +310,7 @@ def job_size_sweep(
     scenario: "object | None" = None,
     hash_style: HashStyle = HashStyle.SYSV,
     prelink: bool = False,
+    distribution: "object | None" = None,
 ) -> dict[int, JobReport]:
     """Cold job runs across task counts (the extreme-scale question).
 
@@ -284,6 +330,7 @@ def job_size_sweep(
             scenario=scenario,
             hash_style=hash_style,
             prelink=prelink,
+            distribution=distribution,
         )
         reports[n_tasks] = job.run()
     return reports

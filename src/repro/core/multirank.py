@@ -28,6 +28,8 @@ from repro.core.driver import DriverReport, PynamicDriver
 from repro.core.generator import generate
 from repro.core.job import JobReport
 from repro.core.specs import BenchmarkSpec
+from repro.dist.overlay import DistributionOverlay, StagingPlan
+from repro.dist.topology import DistributionSpec
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError, DriverError
 from repro.linker.dynamic import DynamicLinker
@@ -38,6 +40,7 @@ from repro.machine.node import Node, TimedReadNode
 from repro.machine.osprofile import OsProfile, linux_chaos
 from repro.machine.scheduler import EventScheduler, RankTask, SteppedProgram
 from repro.mpi.api import MpiSession
+from repro.mpi.network import NetworkModel
 from repro.perf.timers import PhaseTimer
 from repro.rng import SeededRng
 
@@ -180,10 +183,25 @@ class MultiRankJob:
     """Run the benchmark as N interleaved per-rank simulations.
 
     Startup interleaves per shared object (the stepped linker), imports
-    and visits per module.  ``batch_homogeneous=True`` (default) lets a
-    warm, zero-heterogeneity job simulate one representative rank and
-    replicate its report — the fast path that keeps >1k-rank warm
-    sweeps tractable; ``self.batched`` records whether it was taken.
+    and visits per module.  ``batch_homogeneous=True`` (default) enables
+    two representative-rank fast paths:
+
+    - a warm, zero-heterogeneity job simulates *one* rank and replicates
+      its report (``self.batched``) — warm sweeps past 1k ranks cost a
+      single rank's simulation;
+    - a cold, zero-heterogeneity job simulates the *first toucher* plus
+      one cache-hit representative per node and replicates the latter
+      for the remaining co-resident ranks (``self.cold_batched``) — the
+      redundant buffer-cache-hit ranks that used to make >1k-rank cold
+      jobs intractable are replicated, not simulated, while every
+      node-to-NFS interaction is still played out.
+
+    ``distribution`` (a :class:`repro.dist.topology.DistributionSpec`)
+    stages the DLL set through the library-distribution overlay before
+    the ranks' cold reads need it: relay daemons land every image in the
+    node buffer caches on the same virtual timeline, and each rank's
+    linker blocks on the staged availability instead of demand-paging
+    from NFS.
     """
 
     def __init__(
@@ -199,6 +217,7 @@ class MultiRankJob:
         hash_style: HashStyle = HashStyle.SYSV,
         prelink: bool = False,
         batch_homogeneous: bool = True,
+        distribution: DistributionSpec | None = None,
     ) -> None:
         if spec is None and config is None:
             raise ConfigError("provide a config or a pre-generated spec")
@@ -216,13 +235,77 @@ class MultiRankJob:
         self.hash_style = hash_style
         self.prelink = prelink
         self.batch_homogeneous = batch_homogeneous
-        #: True once :meth:`run` took the homogeneous fast path.
+        self.distribution = distribution
+        #: True once :meth:`run` took the warm homogeneous fast path.
         self.batched = False
+        #: True once :meth:`run` batched cold co-resident cache-hit ranks.
+        self.cold_batched = False
+        #: Ranks actually driven by the last :meth:`run`.
+        self.n_simulated = 0
+        #: The overlay's staging plan (when a distribution ran).
+        self.staging_plan: StagingPlan | None = None
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
         self.scenario.validate_node_indices(self.n_nodes)
         self._drivers: dict[int, _SteppedDriver] = {}
 
     # ------------------------------------------------------------------
+    def _node_ranks(self, node_index: int) -> range:
+        """The ranks block-placed onto node ``node_index``."""
+        first = node_index * self.cores_per_node
+        return range(first, min(self.n_tasks, first + self.cores_per_node))
+
+    def _plan_ranks(self) -> tuple[list[int], dict[int, int]]:
+        """Which ranks to simulate, and each rank's representative.
+
+        Returns ``(simulated, representative)`` where ``representative``
+        maps *every* rank to the simulated rank whose report it shares
+        (itself for simulated ranks).
+        """
+        homogeneous = self.batch_homogeneous and self.scenario.is_homogeneous
+        if homogeneous and self.warm_file_cache and self.n_tasks > 1:
+            # Warm fast path: all reads hit the node caches, ranks are
+            # fully decoupled and identical — one representative total.
+            self.batched = True
+            return [0], {rank: 0 for rank in range(self.n_tasks)}
+        if homogeneous and not self.warm_file_cache:
+            # Cold fast path: per node, the first toucher faults the DLL
+            # set in from shared storage; co-resident ranks hit the node
+            # buffer cache and are identical — simulate one of them.
+            simulated: list[int] = []
+            representative: dict[int, int] = {}
+            for node_index in range(self.n_nodes):
+                ranks = self._node_ranks(node_index)
+                toucher = ranks[0]
+                simulated.append(toucher)
+                representative[toucher] = toucher
+                if len(ranks) > 1:
+                    hitter = ranks[1]
+                    simulated.append(hitter)
+                    for rank in ranks[1:]:
+                        representative[rank] = hitter
+            self.cold_batched = len(simulated) < self.n_tasks
+            return simulated, representative
+        ranks = list(range(self.n_tasks))
+        return ranks, {rank: rank for rank in ranks}
+
+    def _stage_distribution(
+        self, cluster: Cluster, build: BuildImage
+    ) -> StagingPlan | None:
+        """Run the library-distribution overlay for a cold job."""
+        if self.distribution is None or self.warm_file_cache:
+            # With warm caches every node already holds the set; staging
+            # would be pure overhead, so the overlay is a no-op and the
+            # job is byte-identical to a plain NFS-direct warm run.
+            return None
+        overlay = DistributionOverlay(
+            self.distribution,
+            cluster,
+            network=NetworkModel(),
+            straggler_nodes=self.scenario.straggler_nodes,
+            straggler_slowdown=self.scenario.straggler_slowdown,
+        )
+        return overlay.stage(list(build.images.values()))
+
     def run(self) -> JobReport:
         """Simulate every rank; returns a report with per-rank detail."""
         cluster = Cluster(
@@ -238,24 +321,19 @@ class MultiRankJob:
             cluster.file_store.add(image)
         rng = SeededRng(getattr(self.spec.config, "seed", 0))
         self._drivers = {}
-        # Homogeneous warm fast path: every rank is an identical,
-        # independent simulation (all reads hit the node buffer caches,
-        # so no shared-resource coupling exists); simulate one
-        # representative and replicate its report.  Only the
-        # representative's node needs its cache warmed then, keeping the
-        # fast path O(1) in the node count too.
-        self.batched = (
-            self.batch_homogeneous
-            and self.n_tasks > 1
-            and self.warm_file_cache
-            and self.scenario.is_homogeneous
-        )
-        n_simulated = 1 if self.batched else self.n_tasks
+        self.batched = False
+        self.cold_batched = False
+        simulated, representative = self._plan_ranks()
+        self.n_simulated = len(simulated)
+        # Only the representative's node needs its cache warmed on the
+        # warm fast path, keeping it O(1) in the node count too.
         self._warm_caches(
             cluster, build, rng, node_indices=[0] if self.batched else None
         )
+        plan = self._stage_distribution(cluster, build)
+        self.staging_plan = plan
         tasks: list[RankTask] = []
-        for rank in range(n_simulated):
+        for rank in simulated:
             node_index = rank // self.cores_per_node
             home = cluster.nodes[node_index]
             costs = self.scenario.node_costs(node_index, home.costs)
@@ -266,23 +344,30 @@ class MultiRankJob:
                 buffer_cache=home.buffer_cache,
                 cores=1,
             )
+            router = plan.router_for(node_index) if plan is not None else None
             tasks.append(
                 RankTask(
                     rank,
-                    self._rank_steps(rank, rank_node, build, profile, rng),
+                    self._rank_steps(
+                        rank, rank_node, build, profile, rng, router
+                    ),
                     now=lambda clock=rank_node.clock: clock.seconds,
                 )
             )
         EventScheduler().run(tasks)
-        mpi_per_rank = self._mpi_phase(cluster, n_simulated)
+        mpi_per_rank = self._mpi_phase(cluster, simulated)
+        reports = {
+            rank: self._drivers[rank].final_report(mpi_s=mpi_per_rank[rank])
+            for rank in simulated
+        }
+        # Reports are read-only downstream, so replicated ranks share
+        # their representative's instance.
         per_rank = [
-            self._drivers[rank].final_report(mpi_s=mpi_per_rank[rank])
-            for rank in range(n_simulated)
+            reports[representative[rank]] for rank in range(self.n_tasks)
         ]
-        if self.batched:
-            # Reports are read-only downstream, so every rank can share
-            # the representative's instance.
-            per_rank = per_rank * self.n_tasks
+        distribution_label = (
+            self.distribution.label if self.distribution is not None else "none"
+        )
         return JobReport(
             n_tasks=self.n_tasks,
             n_nodes=self.n_nodes,
@@ -290,6 +375,10 @@ class MultiRankJob:
             cold=not self.warm_file_cache,
             engine="multirank",
             per_rank=per_rank,
+            distribution=distribution_label,
+            staging_per_node=(
+                list(plan.per_node_done_s) if plan is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -324,6 +413,7 @@ class MultiRankJob:
         build: BuildImage,
         profile: OsProfile,
         rng: SeededRng,
+        router: "object | None" = None,
     ) -> Generator[None, None, None]:
         """One rank's whole job as a resumable generator."""
         env = {}
@@ -341,7 +431,9 @@ class MultiRankJob:
                 )
             )
         yield
-        linker = DynamicLinker(build.registry, prelink=self.prelink)
+        linker = DynamicLinker(
+            build.registry, prelink=self.prelink, router=router  # type: ignore[arg-type]
+        )
         # Per-object startup: one step per shared object mapped, relocated
         # or PLT-filled, so cold-start NFS contention interleaves across
         # ranks during program start — not just during imports.
@@ -354,29 +446,31 @@ class MultiRankJob:
         yield
         yield from driver.steps()
 
-    def _mpi_phase(self, cluster: Cluster, n_simulated: int) -> list[float]:
+    def _mpi_phase(
+        self, cluster: Cluster, simulated: list[int]
+    ) -> dict[int, float]:
         """Barrier every rank, run the collective self-test, charge waits.
 
         Each rank's MPI time is its wait for the slowest rank plus the
         collective itself — which is how stragglers tax the whole job.
-        ``n_simulated`` is the number of ranks actually driven (1 on the
-        batched homogeneous path); the collective still runs at the full
-        ``n_tasks`` width either way.
+        ``simulated`` holds the ranks actually driven (the batched paths
+        drive a subset whose replicas share their representative's
+        timing, so the max over the subset is the true job max); the
+        collective still runs at the full ``n_tasks`` width either way.
         """
         if not getattr(self.spec.config, "mpi_test", False):
-            return [0.0] * n_simulated
-        finish = [
-            self._drivers[rank].ctx.seconds for rank in range(n_simulated)
-        ]
-        t_max = max(finish)
-        slowest = finish.index(t_max)
+            return {rank: 0.0 for rank in simulated}
+        finish = {
+            rank: self._drivers[rank].ctx.seconds for rank in simulated
+        }
+        slowest = max(simulated, key=finish.__getitem__)
         session = MpiSession(cluster=cluster, n_tasks=self.n_tasks)
         ctx = self._drivers[slowest].ctx
         session.run_selftest(ctx)
         end_s = ctx.seconds
-        for rank in range(n_simulated):
+        for rank in simulated:
             if rank != slowest:
                 self._drivers[rank].ctx.node.clock.add_seconds(
                     end_s - finish[rank]
                 )
-        return [end_s - finish[rank] for rank in range(n_simulated)]
+        return {rank: end_s - finish[rank] for rank in simulated}

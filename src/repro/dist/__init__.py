@@ -1,0 +1,31 @@
+"""The library-distribution overlay subsystem.
+
+A scalable answer to the paper's Section II.B.2 problem — every node of
+an extreme-scale job demand-loading hundreds of DLLs from one NFS server
+— built *inside* the discrete-event engine: overlay topologies
+(:mod:`repro.dist.topology`), per-node relay daemons with timed per-link
+reservations (:mod:`repro.dist.overlay`), and the router hook that
+steers a job's cold DLL reads through the staged copies
+(:mod:`repro.dist.router`).
+"""
+
+from repro.dist.overlay import DistributionOverlay, RelayDaemon, StagingPlan
+from repro.dist.router import NodeRouter, ObjectRouter
+from repro.dist.topology import (
+    DistributionSpec,
+    Topology,
+    children_map,
+    parent_map,
+)
+
+__all__ = [
+    "DistributionOverlay",
+    "DistributionSpec",
+    "NodeRouter",
+    "ObjectRouter",
+    "RelayDaemon",
+    "StagingPlan",
+    "Topology",
+    "children_map",
+    "parent_map",
+]

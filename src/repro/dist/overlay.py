@@ -1,0 +1,356 @@
+"""The distribution overlay: relay daemons staging DLLs inside the engine.
+
+One :class:`RelayDaemon` runs per node as a :class:`SteppedProgram` on
+the shared :class:`EventScheduler`.  The root daemon (or, under the FLAT
+topology, every daemon) reads each DLL image once from the source file
+system's timed reservation queue (``request_at``); relay daemons forward
+images to their overlay children over the interconnect, serializing
+sends on a per-node egress-link reservation timeline
+(:func:`repro.fs.reservation.reserve` — the same earliest-gap booking
+the NFS pipe uses).  Every image a daemon receives is *landed* in its
+node's disk :class:`~repro.fs.buffercache.BufferCache` (the page-cache
+copy overlaps the transfer, so landing charges no extra time), and the
+landing instant is recorded in the resulting :class:`StagingPlan` — the
+per-(node, image) availability map the
+:class:`~repro.dist.router.NodeRouter` uses to stall a rank's cold DLL
+reads until the overlay has delivered the bytes.
+
+With the default store-and-forward discipline
+(``DistributionSpec(pipelined=False)``) a binomial overlay on a
+homogeneous cold cluster reproduces the analytic closed form
+``staging_seconds(..., COLLECTIVE)`` — one NFS pass plus
+``ceil(log2 n)`` full-set interconnect rounds — which is what the golden
+tests pin.  ``pipelined=True`` switches to cut-through relaying (an
+image is forwarded as soon as it lands), which overlaps rounds and beats
+the closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, Sequence
+
+from repro.dist.topology import DistributionSpec, Topology, children_map
+from repro.errors import ConfigError, DistributionError
+from repro.fs.files import FileImage
+from repro.fs.reservation import reserve
+from repro.machine.cluster import Cluster
+from repro.machine.node import TimedReadNode
+from repro.machine.scheduler import (
+    EventScheduler,
+    Mailbox,
+    RankTask,
+    SteppedProgram,
+)
+from repro.mpi.network import NetworkModel
+
+
+
+@dataclass
+class StagingPlan:
+    """Outcome of one overlay staging run.
+
+    ``ready_s`` maps ``(node_index, path)`` to the virtual time the image
+    became available on that node (0.0 when the node's cache already held
+    it); ``per_node_done_s[i]`` is when node ``i`` held the *full* set.
+    """
+
+    strategy: str
+    n_nodes: int
+    n_files: int
+    staged_bytes: int
+    ready_s: dict[tuple[int, str], float]
+    per_node_done_s: tuple[float, ...]
+    root_read_s: float
+    relay_sends: int
+
+    @property
+    def makespan_s(self) -> float:
+        """Seconds until every node held the full DLL set."""
+        return max(self.per_node_done_s)
+
+    def ready(self, node_index: int, path: str) -> float | None:
+        """Availability time of ``path`` on ``node_index`` (None if unstaged)."""
+        return self.ready_s.get((node_index, path))
+
+    def router_for(self, node_index: int) -> "NodeRouter":
+        """An :class:`ObjectRouter` bound to one node of this plan."""
+        from repro.dist.router import NodeRouter
+
+        return NodeRouter(self, node_index)
+
+
+class RelayDaemon(SteppedProgram):
+    """One node's staging daemon: receive (or read), land, relay.
+
+    ``now()`` is the scheduler key.  A daemon blocked on an empty inbox
+    reports a time just *after* its parent's clock, so the
+    least-virtual-time-first policy always runs the sender first; once a
+    message is queued, the key becomes its arrival time.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        node: TimedReadNode,
+        images: Sequence[FileImage],
+        read_images: Sequence[FileImage],
+        reads_source: bool,
+        egress_bandwidth_bps: float,
+        network_latency_s: float,
+        pipelined: bool,
+        spawn_s: float,
+    ) -> None:
+        self.index = index
+        self.node = node
+        self.images = list(images)
+        #: Same files, possibly re-pointed at the staging source (PFS
+        #: mirrors share the originals' paths, hence their cache pages).
+        self.read_images = list(read_images)
+        self.reads_source = reads_source
+        self.egress_bandwidth_bps = egress_bandwidth_bps
+        self.network_latency_s = network_latency_s
+        self.pipelined = pipelined
+        self.spawn_s = spawn_s
+        self.inbox = Mailbox()
+        self.parent: "RelayDaemon | None" = None
+        self.children: list["RelayDaemon"] = []
+        #: path -> seconds the image became available on this node.
+        self.landed: dict[str, float] = {}
+        self._egress: list[tuple[float, float]] = []
+        self.relay_sends = 0
+        self.completed = False
+        self._blocked = False
+
+    # -- scheduler interface ------------------------------------------------
+    def now(self) -> float:
+        """The scheduler key: clock, next message arrival, or parked.
+
+        A daemon blocked on an empty inbox parks at ``+inf``: it is only
+        popped again once every daemon with finite-key work has drained,
+        by which point its sender has queued something (the root never
+        blocks, and ties at ``inf`` break by node index, so a parked
+        parent always wakes before its parked children — the chain
+        unwinds from the root down without livelock or deep recursion).
+        Resuming a receiver later than its wake time cannot change the
+        outcome: daemon clocks advance to the *recorded* arrival times
+        and link transfers book earliest-gap reservations, both
+        independent of the order the scheduler happens to interleave
+        resumptions in.
+        """
+        clock = self.node.clock.seconds
+        if not self._blocked:
+            return clock
+        head = self.inbox.peek_arrival()
+        if head is not None:
+            return max(clock, head)
+        return float("inf")
+
+    def steps(self) -> Generator[None, None, None]:
+        if self.spawn_s > 0.0:
+            self.node.clock.add_seconds(self.spawn_s)
+            yield
+        if self.reads_source:
+            yield from self._read_from_source()
+        else:
+            yield from self._receive_from_parent()
+        if not self.pipelined:
+            for child in self.children:
+                for image in self.images:
+                    self._send(child, image, synchronous=True)
+                yield
+        self.completed = True
+
+    # -- staging work -------------------------------------------------------
+    def _read_from_source(self) -> Generator[None, None, None]:
+        for image, source_image in zip(self.images, self.read_images):
+            if self.node.buffer_cache.contains(image):
+                # A pre-warmed cache (reused batch allocation) already
+                # holds the image: available since job launch.
+                self.landed[image.path] = 0.0
+            else:
+                self.node.read_file(source_image)
+                self.landed[image.path] = self.node.clock.seconds
+            if self.pipelined:
+                self._relay(image)
+            yield
+
+    def _receive_from_parent(self) -> Generator[None, None, None]:
+        if self.parent is None:
+            raise DistributionError(
+                f"relay daemon {self.index} has no parent and no source"
+            )
+        while len(self.landed) < len(self.images):
+            message = self.inbox.receive()
+            if message is None:
+                if self.parent.completed:
+                    raise DistributionError(
+                        f"node {self.index} still waits for "
+                        f"{len(self.images) - len(self.landed)} images but "
+                        f"its parent {self.parent.index} has finished"
+                    )
+                self._blocked = True
+                yield
+                continue
+            self._blocked = False
+            arrival, image = message
+            assert isinstance(image, FileImage)
+            self.node.clock.advance_to_seconds(arrival)
+            if self.node.buffer_cache.contains(image):
+                self.landed.setdefault(image.path, 0.0)
+            else:
+                self.node.buffer_cache.install(image)
+                self.landed[image.path] = self.node.clock.seconds
+            if self.pipelined:
+                self._relay(image)
+            yield
+
+    def _relay(self, image: FileImage) -> None:
+        """Cut-through: forward ``image`` to every child right now."""
+        for child in self.children:
+            self._send(child, image, synchronous=False)
+
+    def _send(
+        self, child: "RelayDaemon", image: FileImage, synchronous: bool
+    ) -> None:
+        """Book one image transfer on this node's egress link.
+
+        ``synchronous`` (store-and-forward) rides the daemon's clock on
+        the link — the next send cannot start earlier; asynchronous
+        (cut-through) sends only book the reservation timeline, letting
+        the NIC drain while the daemon keeps receiving.
+        """
+        service = self.network_latency_s + (
+            image.size_bytes / self.egress_bandwidth_bps
+        )
+        begin = reserve(self._egress, self.node.clock.seconds, service)
+        end = begin + service
+        if synchronous:
+            self.node.clock.advance_to_seconds(end)
+        child.inbox.deliver(end, image)
+        self.relay_sends += 1
+
+
+class DistributionOverlay:
+    """Builds the daemon tree for a cluster and runs one staging pass."""
+
+    def __init__(
+        self,
+        spec: DistributionSpec,
+        cluster: Cluster,
+        network: NetworkModel | None = None,
+        straggler_nodes: Iterable[int] = (),
+        straggler_slowdown: float = 1.0,
+    ) -> None:
+        if straggler_slowdown < 1.0:
+            raise ConfigError(
+                f"straggler slowdown must be >= 1, got {straggler_slowdown}"
+            )
+        self.spec = spec
+        self.cluster = cluster
+        self.network = network or NetworkModel()
+        self.straggler_nodes = frozenset(straggler_nodes)
+        self.straggler_slowdown = straggler_slowdown
+        self.daemons: list[RelayDaemon] = []
+
+    # ------------------------------------------------------------------
+    def _egress_bandwidth(self, index: int) -> float:
+        """Egress link rate for node ``index``'s relay daemon."""
+        bandwidth = self.network.bandwidth_bps * self.spec.relay_bandwidth_share
+        if index in self.spec.straggler_relay_nodes:
+            bandwidth /= self.spec.straggler_relay_slowdown
+        if index in self.straggler_nodes:
+            bandwidth /= self.straggler_slowdown
+        return bandwidth
+
+    def _source_images(self, images: Sequence[FileImage]) -> list[FileImage]:
+        """The images as read from the staging source.
+
+        For ``source="pfs"`` the DLL set is assumed pre-staged on the
+        parallel file system: daemons read path-identical mirrors whose
+        pages land under the originals' cache keys.
+        """
+        if self.spec.source == "nfs":
+            return list(images)
+        return [
+            FileImage(
+                path=image.path,
+                size_bytes=image.size_bytes,
+                filesystem=self.cluster.pfs,
+            )
+            for image in images
+        ]
+
+    def stage(self, images: Sequence[FileImage]) -> StagingPlan:
+        """Run one staging pass; lands images in every node's cache.
+
+        Returns the :class:`StagingPlan` with per-(node, image)
+        availability times.  The caller owns queue hygiene: the pass
+        books reservations on the cluster's shared file-system timelines
+        exactly like any other client.
+        """
+        if not images:
+            raise ConfigError("nothing to distribute: empty image set")
+        n_nodes = self.cluster.n_nodes
+        spec = self.spec
+        for index in spec.straggler_relay_nodes:
+            if not 0 <= index < n_nodes:
+                raise ConfigError(
+                    f"straggler relay {index} outside the {n_nodes}-node job"
+                )
+        children = children_map(spec.topology, n_nodes, spec.fanout)
+        source_images = self._source_images(images)
+        flat = spec.topology is Topology.FLAT
+        self.daemons = [
+            RelayDaemon(
+                index=index,
+                node=TimedReadNode(
+                    name=f"{self.cluster.nodes[index].name}:distd",
+                    costs=self.cluster.nodes[index].costs,
+                    buffer_cache=self.cluster.nodes[index].buffer_cache,
+                    cores=1,
+                ),
+                images=images,
+                read_images=source_images,
+                reads_source=flat or index == 0,
+                egress_bandwidth_bps=self._egress_bandwidth(index),
+                network_latency_s=self.network.latency_s,
+                pipelined=spec.pipelined,
+                spawn_s=spec.daemon_spawn_s,
+            )
+            for index in range(n_nodes)
+        ]
+        for parent_index, kids in enumerate(children):
+            parent = self.daemons[parent_index]
+            for child_index in kids:
+                child = self.daemons[child_index]
+                child.parent = parent
+                parent.children.append(child)
+        tasks = [
+            RankTask(daemon.index, daemon.steps(), now=daemon.now)
+            for daemon in self.daemons
+        ]
+        EventScheduler().run(tasks)
+        ready: dict[tuple[int, str], float] = {}
+        per_node_done: list[float] = []
+        for daemon in self.daemons:
+            if len(daemon.landed) != len(images):
+                raise DistributionError(
+                    f"node {daemon.index} landed {len(daemon.landed)} of "
+                    f"{len(images)} images"
+                )
+            for path, landed_s in daemon.landed.items():
+                ready[(daemon.index, path)] = landed_s
+            per_node_done.append(max(daemon.landed.values()))
+        root = self.daemons[0]
+        root_read_s = max(root.landed.values(), default=0.0)
+        return StagingPlan(
+            strategy=spec.label,
+            n_nodes=n_nodes,
+            n_files=len(images),
+            staged_bytes=sum(image.size_bytes for image in images),
+            ready_s=ready,
+            per_node_done_s=tuple(per_node_done),
+            root_read_s=root_read_s,
+            relay_sends=sum(daemon.relay_sends for daemon in self.daemons),
+        )

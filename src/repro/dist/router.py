@@ -1,0 +1,57 @@
+"""Object routing: steering a process's cold DLL reads through the overlay.
+
+The :class:`~repro.linker.dynamic.DynamicLinker` consults its
+:class:`ObjectRouter` (when it has one) before the first byte of a shared
+object is read.  A router answers one question: *how long must this
+reader wait before the image is locally available?*  For an image the
+distribution overlay staged, the answer is the remaining time until the
+node's relay daemon lands it (zero once it has) — after which every read
+hits the node's buffer cache and the NFS server is never touched.  For
+an image the overlay never saw, the router answers ``None`` and the read
+falls through to the demand-paged path unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.dist.overlay import StagingPlan
+
+
+class ObjectRouter(Protocol):
+    """Anything that can answer availability queries for object reads."""
+
+    def wait_seconds(self, path: str, now: float) -> float | None:
+        """Seconds a reader must wait before ``path`` is locally
+        available, or ``None`` when the router does not cover it."""
+        ...  # pragma: no cover - protocol
+
+
+class NodeRouter:
+    """An :class:`ObjectRouter` bound to one node of a staging plan."""
+
+    def __init__(self, plan: "StagingPlan", node_index: int) -> None:
+        if not 0 <= node_index < plan.n_nodes:
+            raise ConfigError(
+                f"node {node_index} outside the {plan.n_nodes}-node plan"
+            )
+        self.plan = plan
+        self.node_index = node_index
+        #: Observability counters: how often readers actually blocked.
+        self.lookups = 0
+        self.stalls = 0
+        self.stall_seconds = 0.0
+
+    def wait_seconds(self, path: str, now: float) -> float | None:
+        ready = self.plan.ready(self.node_index, path)
+        if ready is None:
+            return None
+        self.lookups += 1
+        wait = max(0.0, ready - now)
+        if wait > 0.0:
+            self.stalls += 1
+            self.stall_seconds += wait
+        return wait

@@ -74,6 +74,10 @@ class FileNotFoundInStoreError(FileSystemError):
         self.path = path
 
 
+class DistributionError(ReproError):
+    """The library-distribution overlay reached an inconsistent state."""
+
+
 class MPIError(ReproError):
     """A simulated MPI operation was used incorrectly."""
 

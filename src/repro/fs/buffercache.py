@@ -98,6 +98,36 @@ class BufferCache:
             seconds += fetch(missing_pages * self.page_bytes, 1)
         return seconds
 
+    def install(self, image: FileImage, offset: int = 0, size: int | None = None) -> int:
+        """Mark a byte range resident without charging any fetch time.
+
+        Models data arriving outside the demand-read path — a staging
+        daemon landing relayed bytes in the page cache as they come off
+        the wire (the copy overlaps the transfer, so the link time
+        already paid for it).  Returns the number of pages newly
+        installed; hit/miss counters are untouched.
+        """
+        if size is None:
+            size = image.size_bytes - offset
+        if size == 0:
+            return 0
+        if offset < 0 or size < 0 or offset + size > image.size_bytes:
+            raise ConfigError(
+                f"install of {offset}+{size} outside {image.path!r} "
+                f"({image.size_bytes} bytes)"
+            )
+        installed = 0
+        for page in self._page_range(offset, size):
+            key = (image.path, page)
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                continue
+            installed += 1
+            self._pages[key] = None
+            if len(self._pages) > self.capacity_pages:
+                self._pages.popitem(last=False)
+        return installed
+
     def contains(self, image: FileImage, offset: int = 0, size: int | None = None) -> bool:
         """True if the entire byte range is resident."""
         if size is None:

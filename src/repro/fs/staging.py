@@ -10,6 +10,16 @@ scalability of this current practice".  Three strategies are modelled:
   fanned out over the interconnect with a binomial-tree broadcast (the
   proposed OS extension),
 - **parallel_fs**: stage the DLLs on a striped parallel file system.
+
+These closed forms are the *analytic twins* of the stepped distribution
+overlay (:mod:`repro.dist`): ``INDEPENDENT`` corresponds to a flat
+NFS-sourced overlay, ``COLLECTIVE`` to the store-and-forward binomial
+broadcast, ``PARALLEL_FS`` to a flat PFS-sourced overlay.  On a
+homogeneous cold cluster the stepped overlay's staging makespan matches
+:func:`staging_seconds` (the golden tests pin ``COLLECTIVE`` within 5%);
+the overlay additionally expresses what no closed form can — emergent
+per-link queueing, straggling relays, partial warm mixes, and the
+per-(node, image) availability times a running job's reads block on.
 """
 
 from __future__ import annotations

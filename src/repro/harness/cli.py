@@ -5,6 +5,9 @@ Examples::
     pynamic-repro list
     pynamic-repro run table1
     pynamic-repro run all
+    pynamic-repro run job_scaling --engine multirank
+    pynamic-repro run mitigation --json BENCH_mitigation.json
+    pynamic-repro job --tasks 64 --engine multirank --distribution binomial
     pynamic-repro generate --modules 8 --utilities 6 --avg-functions 40 \\
         --out /tmp/pynamic_tree
     pynamic-repro sizes --modules 280 --utilities 215 --avg-functions 1850 \\
@@ -14,8 +17,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.dist.topology import DISTRIBUTION_NAMES
 from repro.harness.experiments import all_experiment_names, run_experiment
 
 
@@ -54,6 +59,40 @@ def _config_from_args(args: argparse.Namespace):
     )
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine/distribution knobs shared by ``run`` and ``job``."""
+    parser.add_argument(
+        "--engine",
+        choices=("analytic", "multirank"),
+        default=None,
+        help="job engine (experiments that take one; default per experiment)",
+    )
+    parser.add_argument(
+        "--distribution",
+        choices=DISTRIBUTION_NAMES,
+        default=None,
+        help=(
+            "library-distribution overlay: none (demand-paged NFS), flat "
+            "(staged NFS reads), pfs (flat from the parallel FS), binomial "
+            "(tree broadcast), kary (k-ary fan-out; see --fanout)"
+        ),
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="fan-out degree of the kary distribution tree",
+    )
+
+
+def _distribution_from_args(args: argparse.Namespace):
+    if args.distribution is None:
+        return None
+    from repro.dist.topology import DistributionSpec
+
+    return DistributionSpec.from_name(args.distribution, fanout=args.fanout)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -67,6 +106,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument("experiment", help="experiment name or 'all'")
+    _add_engine_arguments(run_parser)
+    run_parser.add_argument(
+        "--node-counts",
+        type=int,
+        nargs="+",
+        default=None,
+        help="node counts for scale studies that accept them (mitigation)",
+    )
+    run_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the results (tables + metrics) as JSON",
+    )
+    job_parser = sub.add_parser(
+        "job", help="simulate one N-task Pynamic job and print its report"
+    )
+    _add_config_arguments(job_parser)
+    _add_engine_arguments(job_parser)
+    job_parser.add_argument("--tasks", type=int, default=8, help="MPI tasks")
+    job_parser.add_argument(
+        "--cores-per-node", type=int, default=8, help="cores per node"
+    )
+    job_parser.add_argument(
+        "--warm", action="store_true", help="start with warm buffer caches"
+    )
     generate_parser = sub.add_parser(
         "generate", help="emit a benchmark source tree (C files + driver)"
     )
@@ -94,10 +159,60 @@ def main(argv: list[str] | None = None) -> int:
             if args.experiment == "all"
             else [args.experiment]
         )
+        collected = {}
         for name in names:
-            result = run_experiment(name)
+            result = run_experiment(
+                name,
+                engine=args.engine,
+                distribution=_distribution_from_args(args),
+                node_counts=args.node_counts,
+            )
+            collected[name] = result
             print(result.render())
             print()
+        if args.json is not None:
+            payload = {
+                name: result.to_json_dict()
+                for name, result in collected.items()
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0
+    if args.command == "job":
+        from repro.core.job import PynamicJob
+
+        report = PynamicJob(
+            config=_config_from_args(args),
+            n_tasks=args.tasks,
+            cores_per_node=args.cores_per_node,
+            warm_file_cache=args.warm,
+            engine=args.engine or "analytic",
+            distribution=_distribution_from_args(args),
+        ).run()
+        print(
+            f"{report.engine} job: {report.n_tasks} tasks on "
+            f"{report.n_nodes} nodes, "
+            f"{'warm' if not report.cold else 'cold'} caches, "
+            f"distribution={report.distribution}"
+        )
+        print(
+            f"  startup {report.startup_s:.4f}s  import {report.import_s:.4f}s"
+            f"  visit {report.visit_s:.4f}s  mpi {report.mpi_s:.4f}s"
+            f"  total {report.total_s:.4f}s"
+        )
+        if report.per_rank is not None:
+            print(
+                f"  per-rank total p50/p95/max: {report.total_p50:.4f}/"
+                f"{report.total_p95:.4f}/{report.total_max:.4f}"
+                f"  skew {report.total_skew_s:.4f}s"
+            )
+        if report.staging_per_node:
+            print(
+                f"  staging p50/p95/max: {report.staging_p50:.4f}/"
+                f"{report.staging_p95:.4f}/{report.staging_max:.4f}"
+                f"  skew {report.staging_skew_s:.4f}s"
+            )
         return 0
     if args.command == "generate":
         from repro.codegen.fileset import write_benchmark_tree

@@ -1,7 +1,17 @@
-"""Experiment plumbing: results, registry, lookup."""
+"""Experiment plumbing: results, registry, lookup.
+
+Experiments are registered callables producing an
+:class:`ExperimentResult`.  A factory may accept keyword parameters
+(``engine=``, ``distribution=``, ``node_counts=`` ...);
+:func:`run_experiment` forwards only the overrides a factory's signature
+actually declares, so the CLI can pass one set of knobs to every
+experiment and each picks up what it understands.
+"""
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -40,6 +50,23 @@ class ExperimentResult:
             parts.append(f"note: {note}")
         return "\n\n".join(parts)
 
+    def to_json_dict(self) -> dict:
+        """A JSON-serializable view (for ``--json`` / benchmark files)."""
+        return {
+            "name": self.name,
+            "paper_reference": self.paper_reference,
+            "tables": [
+                {
+                    "title": title,
+                    "headers": list(headers),
+                    "rows": [[str(cell) for cell in row] for row in rows],
+                }
+                for title, headers, rows in self.tables
+            ],
+            "metrics": dict(self.metrics),
+            "notes": list(self.notes),
+        }
+
 
 #: name -> zero-argument callable producing an ExperimentResult.
 REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
@@ -57,13 +84,13 @@ def register(name: str) -> Callable[[Callable[[], ExperimentResult]], Callable[[
     return wrap
 
 
-def run_experiment(name: str) -> ExperimentResult:
-    """Run a registered experiment by name."""
-    # Import the experiment modules lazily so registration happens on use.
+def _import_experiments() -> None:
+    """Import the experiment modules lazily so registration happens on use."""
     from repro.harness import (  # noqa: F401
         ablations,
         costmodel_exp,
         job_scaling,
+        mitigation,
         scaling,
         staging_exp,
         table1,
@@ -72,27 +99,44 @@ def run_experiment(name: str) -> ExperimentResult:
         table4,
     )
 
+
+def run_experiment(name: str, **overrides: object) -> ExperimentResult:
+    """Run a registered experiment by name.
+
+    ``overrides`` (e.g. ``engine="multirank"``,
+    ``distribution=DistributionSpec(...)``) are forwarded to the
+    experiment factory — but only the keywords its signature declares;
+    the rest are dropped with a warning so one override set fits every
+    experiment without misattributing results.  ``None`` values are
+    treated as "not specified".
+    """
+    _import_experiments()
     try:
         factory = REGISTRY[name]
     except KeyError:
         raise ConfigError(
             f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
         ) from None
-    return factory()
+    accepted = inspect.signature(factory).parameters
+    kwargs = {}
+    dropped = []
+    for key, value in overrides.items():
+        if value is None:
+            continue
+        if key in accepted:
+            kwargs[key] = value
+        else:
+            dropped.append(key)
+    if dropped:
+        warnings.warn(
+            f"experiment {name!r} does not take {sorted(dropped)}; "
+            "the overrides were ignored",
+            stacklevel=2,
+        )
+    return factory(**kwargs)
 
 
 def all_experiment_names() -> list[str]:
     """Names of all registered experiments."""
-    from repro.harness import (  # noqa: F401
-        ablations,
-        costmodel_exp,
-        job_scaling,
-        scaling,
-        staging_exp,
-        table1,
-        table2,
-        table3,
-        table4,
-    )
-
+    _import_experiments()
     return sorted(REGISTRY)

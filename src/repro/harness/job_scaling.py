@@ -14,13 +14,22 @@ from dataclasses import replace
 
 from repro.core import presets
 from repro.core.builds import BuildMode
+from repro.errors import ConfigError
 from repro.harness.experiments import ExperimentResult, register
 from repro.harness.sweep import sweep_job_reports
 
 
 @register("job_scaling")
-def run() -> ExperimentResult:
-    """Cold job import time vs. task count (Sections II, V)."""
+def run(engine: str | None = None) -> ExperimentResult:
+    """Cold job import time vs. task count (Sections II, V).
+
+    ``engine`` restricts the study to one engine's table (``"analytic"``
+    or ``"multirank"``); the default regenerates both.
+    """
+    if engine not in (None, "analytic", "multirank"):
+        raise ConfigError(
+            f"unknown engine {engine!r}; choose 'analytic' or 'multirank'"
+        )
     result = ExperimentResult(
         name="Cold N-task job startup vs. shared NFS",
         paper_reference="Section II.B.2 / Section V (extreme-scale loading)",
@@ -28,61 +37,63 @@ def run() -> ExperimentResult:
     config = replace(
         presets.tiny(), n_modules=8, n_utilities=6, avg_functions=30
     )
-    task_counts = [8, 64, 256]
-    reports = sweep_job_reports(config, task_counts, mode=BuildMode.VANILLA)
-    rows = []
-    for n_tasks in task_counts:
-        report = reports[n_tasks]
-        rows.append(
-            [
-                n_tasks,
-                report.n_nodes,
-                report.startup_s,
-                report.import_s,
-                report.mpi_s,
-            ]
+    if engine in (None, "analytic"):
+        task_counts = [8, 64, 256]
+        reports = sweep_job_reports(config, task_counts, mode=BuildMode.VANILLA)
+        rows = []
+        for n_tasks in task_counts:
+            report = reports[n_tasks]
+            rows.append(
+                [
+                    n_tasks,
+                    report.n_nodes,
+                    report.startup_s,
+                    report.import_s,
+                    report.mpi_s,
+                ]
+            )
+        result.add_table(
+            "rank-0 phase times, cold file caches (analytic fast path)",
+            ["tasks", "nodes", "startup(s)", "import(s)", "MPI test(s)"],
+            rows,
         )
-    result.add_table(
-        "rank-0 phase times, cold file caches (analytic fast path)",
-        ["tasks", "nodes", "startup(s)", "import(s)", "MPI test(s)"],
-        rows,
-    )
-    result.metrics["import_growth_8_to_256"] = (
-        reports[256].import_s / reports[8].import_s
-    )
-    result.metrics["mpi_growth_8_to_256"] = (
-        reports[256].mpi_s / max(1e-12, reports[8].mpi_s)
-    )
-    # The discrete-event engine: every rank simulated, skew emerges from
-    # the NFS server's FIFO queue (kept to 64 ranks to bound runtime).
-    multi_counts = [8, 32, 64]
-    multi = sweep_job_reports(
-        config, multi_counts, mode=BuildMode.VANILLA, engine="multirank"
-    )
-    skew_rows = []
-    for n_tasks in multi_counts:
-        report = multi[n_tasks]
-        skew_rows.append(
-            [
-                n_tasks,
-                report.n_nodes,
-                report.import_p50,
-                report.import_p95,
-                report.import_max,
-                report.import_skew_s,
-            ]
+        result.metrics["import_growth_8_to_256"] = (
+            reports[256].import_s / reports[8].import_s
         )
-    result.add_table(
-        "per-rank import distribution, cold (multi-rank engine)",
-        ["tasks", "nodes", "p50(s)", "p95(s)", "max(s)", "skew(s)"],
-        skew_rows,
-    )
-    result.metrics["skew_p95_over_p50_at_64"] = (
-        multi[64].import_p95 / max(1e-12, multi[64].import_p50)
-    )
-    result.metrics["multirank_import_growth_8_to_64"] = (
-        multi[64].import_max / max(1e-12, multi[8].import_max)
-    )
+        result.metrics["mpi_growth_8_to_256"] = (
+            reports[256].mpi_s / max(1e-12, reports[8].mpi_s)
+        )
+    if engine in (None, "multirank"):
+        # The discrete-event engine: skew emerges from the NFS server's
+        # timed queue (kept to 64 ranks to bound runtime).
+        multi_counts = [8, 32, 64]
+        multi = sweep_job_reports(
+            config, multi_counts, mode=BuildMode.VANILLA, engine="multirank"
+        )
+        skew_rows = []
+        for n_tasks in multi_counts:
+            report = multi[n_tasks]
+            skew_rows.append(
+                [
+                    n_tasks,
+                    report.n_nodes,
+                    report.import_p50,
+                    report.import_p95,
+                    report.import_max,
+                    report.import_skew_s,
+                ]
+            )
+        result.add_table(
+            "per-rank import distribution, cold (multi-rank engine)",
+            ["tasks", "nodes", "p50(s)", "p95(s)", "max(s)", "skew(s)"],
+            skew_rows,
+        )
+        result.metrics["skew_p95_over_p50_at_64"] = (
+            multi[64].import_p95 / max(1e-12, multi[64].import_p50)
+        )
+        result.metrics["multirank_import_growth_8_to_64"] = (
+            multi[64].import_max / max(1e-12, multi[8].import_max)
+        )
     result.notes.append(
         "every node pages the DLLs in from the same NFS server: cold "
         "import time grows with the node count while the compute work "

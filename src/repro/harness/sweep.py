@@ -57,6 +57,7 @@ def _eval_job_point(point: tuple) -> JobReport:
         scenario,
         hash_style_value,
         prelink,
+        distribution,
     ) = point
     return PynamicJob(
         config=config,
@@ -68,6 +69,7 @@ def _eval_job_point(point: tuple) -> JobReport:
         scenario=scenario,
         hash_style=HashStyle(hash_style_value),
         prelink=prelink,
+        distribution=distribution,
     ).run()
 
 
@@ -222,6 +224,7 @@ def sweep_job_reports(
     scenario: "object | None" = None,
     hash_style: HashStyle = HashStyle.SYSV,
     prelink: bool = False,
+    distribution: "object | None" = None,
     runner: SweepRunner | None = None,
 ) -> dict[int, JobReport]:
     """Parallel, memoized equivalent of :func:`repro.core.job.job_size_sweep`."""
@@ -237,6 +240,7 @@ def sweep_job_reports(
             scenario,
             hash_style.value,
             prelink,
+            distribution,
         )
         for n in task_counts
     ]

@@ -123,20 +123,28 @@ def run() -> ExperimentResult:
     return result
 
 
+@lru_cache(maxsize=1)
+def _table4_spec():
+    """The 1/10-library-count benchmark spec (cached: generation is the
+    expensive part of a full-scale debugger run)."""
+    return generate(presets.table4_config())
+
+
 def _table4_build(n_nodes: int) -> tuple[Cluster, BuildImage]:
-    """A fresh small cluster + pre-linked build for the multirank study."""
+    """A fresh full-scale cluster + pre-linked build for the multirank
+    study — the same workload the analytic Table IV reproduction uses."""
     cluster = Cluster(n_nodes=n_nodes)
-    spec = generate(presets.tiny())
-    build = build_benchmark(spec, cluster.nfs, BuildMode.LINKED)
+    build = build_benchmark(_table4_spec(), cluster.nfs, BuildMode.LINKED)
     for image in build.images.values():
         cluster.file_store.add(image)
     return cluster, build
 
 
 def debugger_multirank_rows(
-    n_tasks: int = 16, n_nodes: int = 4
+    n_tasks: int = 32, n_nodes: int = 4
 ) -> dict[str, MultirankDebuggerStartup]:
-    """Cold, warm and straggler multirank debugger startups (small scale)."""
+    """Cold, warm and straggler multirank debugger startups at the
+    paper's 32 tasks and 1/10 library count (the full Table IV scale)."""
     runs: dict[str, MultirankDebuggerStartup] = {}
     cluster, build = _table4_build(n_nodes)
     debugger = ParallelDebugger(cluster, n_tasks=n_tasks)
@@ -152,13 +160,59 @@ def debugger_multirank_rows(
 
 @register("table4_multirank")
 def run_multirank() -> ExperimentResult:
-    """Table IV per-daemon skew on the multirank engine (small scale)."""
+    """Table IV on the multirank engine at full 32-task scale."""
     runs = debugger_multirank_rows()
+    analytic_cold, analytic_warm = debugger_startup_pair()
     result = ExperimentResult(
-        name="Multirank debugger startup: per-daemon skew",
+        name="Multirank debugger startup: full-scale Table IV + per-daemon skew",
         paper_reference="Table IV (tool-startup problem, per-daemon view)",
     )
-    rows = [
+    paper = PAPER_TABLE4["Pynamic"]
+    comparison_rows = [
+        [
+            "Cold Startup 1st phase",
+            format_mmss(runs["cold"].phase1_s),
+            format_mmss(analytic_cold.phase1_s),
+            "6:39",
+        ],
+        [
+            "Cold Startup 2nd phase",
+            format_mmss(runs["cold"].phase2_s),
+            format_mmss(analytic_cold.phase2_s),
+            "3:21",
+        ],
+        [
+            "Cold Startup total",
+            format_mmss(runs["cold"].total_s),
+            format_mmss(analytic_cold.total_s),
+            "10:00",
+        ],
+        [
+            "Warm Startup 1st phase",
+            format_mmss(runs["warm"].phase1_s),
+            format_mmss(analytic_warm.phase1_s),
+            "1:01",
+        ],
+        [
+            "Warm Startup 2nd phase",
+            format_mmss(runs["warm"].phase2_s),
+            format_mmss(analytic_warm.phase2_s),
+            "3:10",
+        ],
+        [
+            "Warm Startup total",
+            format_mmss(runs["warm"].total_s),
+            format_mmss(analytic_warm.total_s),
+            "4:11",
+        ],
+    ]
+    result.add_table(
+        "Table IV at full scale (mm:ss, 1/10 library count, 32 tasks; "
+        "stepped debug servers vs the analytic closed form)",
+        ["Cold/Warm startup metric", "multirank", "analytic", "paper Pynamic"],
+        comparison_rows,
+    )
+    skew_rows = [
         [
             label,
             format_mmss(startup.total_s),
@@ -173,18 +227,32 @@ def run_multirank() -> ExperimentResult:
         "per-daemon phase-1 IO+parse seconds (stepped debug servers on "
         "the shared NFS timed queue)",
         ["run", "total", "p50", "p95", "max", "skew"],
-        rows,
+        rows=skew_rows,
+    )
+    paper_total_ratio = (paper["cold_phase1"] + paper["cold_phase2"]) / (
+        paper["warm_phase1"] + paper["warm_phase2"]
     )
     result.metrics.update(
         {
             "cold_daemon_skew_s": runs["cold"].daemon_skew_s,
             "warm_daemon_skew_s": runs["warm"].daemon_skew_s,
             "straggler_daemon_skew_s": runs["cold+straggler"].daemon_skew_s,
+            "total_cold_over_warm": (
+                runs["cold"].total_s / runs["warm"].total_s
+            ),
+            "paper_total_cold_over_warm": paper_total_ratio,
+            "warm_total_over_analytic": (
+                runs["warm"].total_s / analytic_warm.total_s
+            ),
+            "cold_total_over_analytic": (
+                runs["cold"].total_s / analytic_cold.total_s
+            ),
         }
     )
     result.notes.append(
-        "warm daemons hit the node buffer caches and show zero skew; "
-        "cold daemons queue on the NFS pipe, and a straggler node "
-        "parses its DWARF at half speed"
+        "warm daemons hit the node buffer caches, show zero skew, and "
+        "reproduce the analytic warm totals; cold daemons queue on the "
+        "NFS pipe (emergent, slightly below the closed-form concurrency "
+        "split), and a straggler node parses its DWARF at half speed"
     )
     return result

@@ -19,7 +19,7 @@ This module implements the behaviours Table I hinges on:
 
 from __future__ import annotations
 
-from typing import Generator, Mapping as TypingMapping
+from typing import TYPE_CHECKING, Generator, Mapping as TypingMapping
 
 from repro.elf.image import Executable, SharedObject
 from repro.elf.linkmap import LinkMap, LoadedObject
@@ -32,6 +32,9 @@ from repro.machine.context import ExecutionContext
 from repro.machine.node import Process
 from repro.machine.scheduler import SteppedProgram, drain
 from repro.perf.tracing import EventKind, EventTrace
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a linker <-> dist cycle
+    from repro.dist.router import ObjectRouter
 
 
 class SteppedStartup(SteppedProgram):
@@ -74,6 +77,15 @@ class DynamicLinker:
     ``trace`` (an :class:`EventTrace`) records every linking event with
     its simulated timestamp — the notification stream Section II.B.3's
     tools must consume.
+
+    ``router`` (an :class:`repro.dist.router.ObjectRouter`) is the
+    collective-open hook: before the first byte of a shared object is
+    read, the linker asks the router how long this process must wait for
+    the image to be locally available.  For objects the distribution
+    overlay staged, the wait is the remaining staging time (zero once the
+    node's relay daemon landed the image) and every subsequent read hits
+    the node's buffer cache; unrouted objects fall through to the
+    demand-paged NFS path unchanged.
     """
 
     def __init__(
@@ -81,11 +93,15 @@ class DynamicLinker:
         registry: TypingMapping[str, SharedObject],
         prelink: bool = False,
         trace: EventTrace | None = None,
+        router: "ObjectRouter | None" = None,
     ) -> None:
         #: soname -> SharedObject for everything installed on the system.
         self.registry = dict(registry)
         self.prelink = prelink
         self.trace = trace
+        self.router = router
+        #: Seconds this process spent blocked on overlay staging.
+        self.staging_wait_s = 0.0
         self.resolver = SymbolResolver()
         #: Counters for reports and tests.
         self.lazy_fixups = 0
@@ -438,6 +454,13 @@ class DynamicLinker:
         image = shared.file_image
         if image is None:
             raise LinkError(f"{shared.soname} was never published to a file system")
+        if self.router is not None:
+            # Collective open: block until the distribution overlay has
+            # landed the image on this node (no-op for unrouted objects).
+            wait = self.router.wait_seconds(image.path, ctx.seconds)
+            if wait:
+                ctx.stall_seconds(wait)
+                self.staging_wait_s += wait
         # Read ELF/program headers (the first page).
         ctx.node.read_file(image, 0, min(4096, image.size_bytes))
         obj = LoadedObject(shared_object=shared)

@@ -7,6 +7,8 @@ clock the way the Pynamic driver reads ``time.time()``.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ConfigError
 from repro.units import DEFAULT_FREQUENCY_HZ
 
@@ -36,6 +38,17 @@ class SimClock:
         """Move the clock forward to an absolute cycle count (never back)."""
         if cycles > self.cycles:
             self.cycles = cycles
+
+    def advance_to_seconds(self, seconds: float) -> None:
+        """Move the clock forward to an absolute time (never back).
+
+        Rounds up to the next whole cycle so ``self.seconds`` never reads
+        earlier than the requested instant — the invariant blocking
+        receives (wait until a message's arrival time) rely on.
+        """
+        if seconds < 0:
+            raise ConfigError(f"cannot advance to negative time: {seconds}")
+        self.advance_to(math.ceil(seconds * self.frequency_hz))
 
     @property
     def seconds(self) -> float:

@@ -24,11 +24,50 @@ reordering window stays small.
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Callable, Generator, Sequence, TypeVar
 
 from repro.errors import ConfigError
 
 _T = TypeVar("_T")
+
+
+class Mailbox:
+    """Timestamped messages between stepped programs on one scheduler.
+
+    A sender *delivers* a payload with the virtual time at which it
+    arrives; the receiver *receives* messages in arrival order, advancing
+    its own clock to the arrival time.  Because the scheduler interleaves
+    tasks least-virtual-time-first, a receiver whose mailbox is empty
+    simply yields (its ``now`` callable should then report a time at or
+    after its sender's clock, so the sender runs first) and re-checks on
+    its next step — the blocking-receive idiom the distribution overlay's
+    relay daemons use.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = itertools.count()
+
+    def deliver(self, arrival_s: float, payload: object) -> None:
+        """Enqueue ``payload`` arriving at virtual time ``arrival_s``."""
+        if arrival_s < 0:
+            raise ConfigError(f"negative arrival time: {arrival_s}")
+        heapq.heappush(self._heap, (arrival_s, next(self._seq), payload))
+
+    def peek_arrival(self) -> float | None:
+        """Arrival time of the earliest queued message (None if empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def receive(self) -> tuple[float, object] | None:
+        """Pop the earliest message as ``(arrival_s, payload)``, or None."""
+        if not self._heap:
+            return None
+        arrival, _, payload = heapq.heappop(self._heap)
+        return arrival, payload
+
+    def __len__(self) -> int:
+        return len(self._heap)
 
 
 class SteppedProgram:

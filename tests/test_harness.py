@@ -26,8 +26,20 @@ class TestRegistry:
             "ablation_coverage",
             "ablation_randomization",
             "ablation_name_length",
+            "mitigation",
+            "table4_multirank",
         ):
             assert expected in names
+
+    def test_overrides_reach_only_accepting_factories(self):
+        # table3 declares no parameters: unknown overrides are dropped
+        # with a warning rather than exploding or silently steering the
+        # user into misattributed results.
+        with pytest.warns(UserWarning, match="does not take"):
+            result = run_experiment(
+                "table3", engine="multirank", node_counts=[2]
+            )
+        assert result.tables
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ConfigError):
@@ -86,3 +98,47 @@ class TestCli:
     def test_run_unknown_experiment_raises(self):
         with pytest.raises(ConfigError):
             main(["run", "bogus"])
+
+    def test_run_json_output(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main(["run", "costmodel", "--json", str(out_path)]) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert "costmodel" in payload
+        assert payload["costmodel"]["metrics"]["minutes_with_reinsertion"] > 0
+
+    def test_job_command_with_distribution(self, capsys):
+        assert main(
+            [
+                "job",
+                "--modules", "3", "--utilities", "2", "--avg-functions", "8",
+                "--tasks", "4", "--cores-per-node", "1",
+                "--engine", "multirank", "--distribution", "binomial",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "distribution=binomial" in out
+        assert "staging" in out
+
+    def test_job_command_analytic_default(self, capsys):
+        assert main(
+            [
+                "job",
+                "--modules", "3", "--utilities", "2", "--avg-functions", "8",
+                "--tasks", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "analytic job" in out
+
+    def test_job_rejects_distribution_on_analytic_engine(self):
+        with pytest.raises(ConfigError):
+            main(
+                [
+                    "job",
+                    "--modules", "3", "--utilities", "2",
+                    "--avg-functions", "8",
+                    "--distribution", "binomial",
+                ]
+            )

@@ -79,9 +79,11 @@ class TestContention:
         report = _run(small_config, n_tasks=8)  # one node, shared disk cache
         imports = sorted(r.import_s for r in report.per_rank)
         # Exactly one rank faults the DLLs in from NFS; the other seven
-        # find them in the node's buffer cache.
-        assert imports[-1] > 2 * imports[0]
+        # find them in the node's buffer cache (and, cold-batched, share
+        # one representative's simulation — hence identical times).
+        assert imports[-1] > 1.1 * imports[0]
         assert imports[-2] < imports[-1]
+        assert len(set(imports[:-1])) == 1
 
 
 class TestScenarios:

@@ -305,10 +305,14 @@ class TestHomogeneousBatching:
             assert fast.mpi_s == slow.mpi_s
         assert batched.total_skew_s == 0.0
 
-    def test_cold_jobs_never_batch(self, small_config):
+    def test_cold_jobs_never_take_the_warm_fast_path(self, small_config):
+        # Cold jobs batch differently: co-resident cache-hit ranks ride a
+        # per-node representative (tests/test_dist.py::TestColdBatching),
+        # never the warm single-representative path.
         job = MultiRankJob(config=small_config, n_tasks=4)
         job.run()
         assert not job.batched
+        assert job.cold_batched
 
     def test_heterogeneous_scenarios_never_batch(self, small_config):
         job = MultiRankJob(
