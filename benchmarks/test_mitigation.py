@@ -35,6 +35,34 @@ def test_stepped_broadcast_matches_analytic_within_5_percent(
     assert ratio == pytest.approx(1.0, rel=0.05)
 
 
+def test_stepped_cut_through_matches_analytic_within_5_percent(
+    mitigation_result,
+):
+    ratio = mitigation_result.metrics["stepped_over_analytic_pipelined"]
+    assert ratio == pytest.approx(1.0, rel=0.05)
+
+
+def test_cut_through_beats_store_and_forward_staging(mitigation_result):
+    assert mitigation_result.metrics["store_forward_over_cut_through"] > 1.0
+    for nodes in DEFAULT_NODE_COUNTS:
+        assert (
+            mitigation_result.metrics[f"total_s[cut-through][{nodes}]"]
+            <= mitigation_result.metrics[f"total_s[tree-broadcast][{nodes}]"]
+            * 1.001
+        )
+
+
+def test_warm_fraction_axis_reports_cache_aware_relays():
+    result = run_experiment(
+        "mitigation", node_counts=[4, 16], warm_fraction=0.5
+    )
+    for nodes in (4, 16):
+        assert (
+            result.metrics[f"warm_staging_s[{nodes}]"]
+            < result.metrics[f"cold_staging_s[{nodes}]"]
+        )
+
+
 def test_advantage_grows_with_node_count(mitigation_result):
     metrics = mitigation_result.metrics
     ratios = [

@@ -35,6 +35,9 @@ def main() -> None:
         "kary-4 (pipelined)": DistributionSpec(
             topology=Topology.KARY, fanout=4, pipelined=True
         ),
+        "cut-through 64KiB": DistributionSpec(
+            topology=Topology.BINOMIAL, pipelined=True, chunk_bytes=64 * 1024
+        ),
     }
     print("cold 16-node job completion by distribution strategy:")
     for label, spec in strategies.items():
@@ -61,6 +64,47 @@ def main() -> None:
     )
     for node_index, done in enumerate(plan.per_node_done_s):
         print(f"  node {node_index}: full set at {done:.4f}s")
+
+    # Chunk-level cut-through vs whole-image relaying, hop by hop: with
+    # chunks, a relay forwards chunk i while receiving chunk i+1, so the
+    # tree fills like a pipeline instead of draining level by level.
+    print("\nchunked cut-through (binomial, 16 nodes):")
+    for chunk in (None, 256 * 1024, 64 * 1024, 16 * 1024):
+        cluster = Cluster(n_nodes=16, cores_per_node=1)
+        build = build_benchmark(
+            generate(presets.tiny()), cluster.nfs, BuildMode.VANILLA
+        )
+        plan = DistributionOverlay(
+            DistributionSpec(pipelined=True, chunk_bytes=chunk), cluster
+        ).stage(list(build.images.values()))
+        label = "whole image" if chunk is None else f"{chunk // 1024:3d} KiB"
+        print(
+            f"  chunk {label:12s} makespan {plan.makespan_s:.5f}s "
+            f"relay sends {plan.relay_sends}"
+        )
+
+    # Cache-aware warm relays: warming one interior node turns its relay
+    # daemon into a secondary source for its whole subtree.
+    cluster = Cluster(n_nodes=16, cores_per_node=1)
+    build = build_benchmark(
+        generate(presets.tiny()), cluster.nfs, BuildMode.VANILLA
+    )
+    images = list(build.images.values())
+    for image in images:
+        cluster.nodes[1].buffer_cache.read(image)  # pre-warm node 1
+    plan = DistributionOverlay(
+        DistributionSpec(pipelined=True, chunk_bytes=64 * 1024), cluster
+    ).stage(images)
+    print(
+        f"\nwarm interior node 1 (binomial, 16 nodes): warm_nodes="
+        f"{plan.warm_nodes}, source reads {plan.source_reads}"
+    )
+    for node_index in (1, 3, 5, 2, 4):
+        note = "subtree of 1" if node_index in (1, 3, 5) else "root pass"
+        print(
+            f"  node {node_index}: full set at "
+            f"{plan.per_node_done_s[node_index]:.5f}s ({note})"
+        )
 
 
 if __name__ == "__main__":

@@ -45,6 +45,20 @@ from repro.perf.timers import PhaseTimer
 from repro.rng import SeededRng
 
 
+def warm_node_selection(
+    n_nodes: int, fraction: float, rng: SeededRng
+) -> list[int]:
+    """Node indices a ``fraction`` warm mix pre-warms (deterministic).
+
+    Shared by the job engine and the mitigation experiment's warm-mix
+    axis so both draw the *same* nodes for a given benchmark seed.
+    """
+    if fraction <= 0.0:
+        return []
+    count = min(n_nodes, max(1, round(fraction * n_nodes)))
+    return sorted(rng.fork("warm-mix").sample(range(n_nodes), count))
+
+
 @dataclass(frozen=True)
 class JobScenario:
     """Heterogeneity knobs for the multi-rank engine.
@@ -65,6 +79,13 @@ class JobScenario:
     #: Fraction of nodes whose disk buffer caches start warm — the
     #: cold/warm mix of a partially reused batch allocation.
     warm_node_fraction: float = 0.0
+    #: Explicit node indices whose caches start warm, merged with the
+    #: fraction-drawn set.  With a distribution overlay these nodes act
+    #: as cache-aware secondary sources: their relay daemons serve their
+    #: subtrees from the local cache instead of waiting on the root
+    #: pass, so warming a well-placed interior node speeds up its whole
+    #: subtree.
+    warm_nodes: tuple[int, ...] = ()
     #: Per-node OS profiles (node index -> profile); unlisted nodes use
     #: the job's default profile.
     node_os_profiles: "dict[int, OsProfile] | None" = None
@@ -88,6 +109,7 @@ class JobScenario:
             not self.straggler_nodes
             and self.os_jitter_s == 0.0
             and self.warm_node_fraction == 0.0
+            and not self.warm_nodes
             and not self.node_os_profiles
         )
 
@@ -98,6 +120,11 @@ class JobScenario:
             if not 0 <= index < n_nodes:
                 raise ConfigError(
                     f"straggler node {index} outside the {n_nodes}-node job"
+                )
+        for index in self.warm_nodes:
+            if not 0 <= index < n_nodes:
+                raise ConfigError(
+                    f"warm node {index} outside the {n_nodes}-node job"
                 )
         if self.node_os_profiles:
             for index in self.node_os_profiles:
@@ -386,11 +413,13 @@ class MultiRankJob:
         """Node indices whose buffer caches start warm."""
         if self.warm_file_cache:
             return list(range(self.n_nodes))
-        fraction = self.scenario.warm_node_fraction
-        if fraction <= 0.0:
-            return []
-        count = min(self.n_nodes, max(1, round(fraction * self.n_nodes)))
-        return sorted(rng.fork("warm-mix").sample(range(self.n_nodes), count))
+        warm = set(self.scenario.warm_nodes)
+        warm.update(
+            warm_node_selection(
+                self.n_nodes, self.scenario.warm_node_fraction, rng
+            )
+        )
+        return sorted(warm)
 
     def _warm_caches(
         self,

@@ -9,13 +9,20 @@ steers a job's cold DLL reads through the staged copies
 (:mod:`repro.dist.router`).
 """
 
-from repro.dist.overlay import DistributionOverlay, RelayDaemon, StagingPlan
+from repro.dist.overlay import (
+    DistributionOverlay,
+    RelayChunk,
+    RelayDaemon,
+    StagingPlan,
+)
 from repro.dist.router import NodeRouter, ObjectRouter
 from repro.dist.topology import (
     DistributionSpec,
     Topology,
     children_map,
     parent_map,
+    root_fanout,
+    tree_depth,
 )
 
 __all__ = [
@@ -23,9 +30,12 @@ __all__ = [
     "DistributionSpec",
     "NodeRouter",
     "ObjectRouter",
+    "RelayChunk",
     "RelayDaemon",
     "StagingPlan",
     "Topology",
     "children_map",
     "parent_map",
+    "root_fanout",
+    "tree_depth",
 ]

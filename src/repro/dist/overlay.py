@@ -20,15 +20,25 @@ With the default store-and-forward discipline
 homogeneous cold cluster reproduces the analytic closed form
 ``staging_seconds(..., COLLECTIVE)`` — one NFS pass plus
 ``ceil(log2 n)`` full-set interconnect rounds — which is what the golden
-tests pin.  ``pipelined=True`` switches to cut-through relaying (an
-image is forwarded as soon as it lands), which overlaps rounds and beats
-the closed form.
+tests pin.  ``pipelined=True`` switches to cut-through relaying, which
+overlaps rounds and beats the closed form; with ``chunk_bytes`` set, a
+transfer streams as per-chunk messages, so a relay forwards chunk *i*
+while still receiving chunk *i+1* and the tree fills like a pipeline —
+the ``staging_seconds(..., PIPELINED)`` twin pins that shape.
+
+Relays are *cache-aware*: a daemon whose node's buffer cache already
+holds an image (a warm node in a partially reused batch allocation) acts
+as a secondary source for its subtree — the image is available at job
+launch, is relayed to the children lacking it without waiting for the
+root pass, and is never sent down the link to a child that is itself
+warm.  A fully warm cluster therefore stages in zero time with zero
+relay sends and zero source reads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Iterable, Sequence
+from typing import Generator, Iterable, Iterator, Sequence
 
 from repro.dist.topology import DistributionSpec, Topology, children_map
 from repro.errors import ConfigError, DistributionError
@@ -44,6 +54,14 @@ from repro.machine.scheduler import (
 )
 from repro.mpi.network import NetworkModel
 
+
+@dataclass(frozen=True)
+class RelayChunk:
+    """One relayed byte range of an image (a message on the overlay)."""
+
+    image: FileImage
+    offset: int
+    size: int
 
 
 @dataclass
@@ -62,7 +80,17 @@ class StagingPlan:
     ready_s: dict[tuple[int, str], float]
     per_node_done_s: tuple[float, ...]
     root_read_s: float
+    #: Chunk sends booked on egress links (one per chunk per child).
     relay_sends: int
+    #: Relay granularity used (None = whole images).
+    chunk_bytes: "int | None" = None
+    #: Nodes whose caches held the *entire* set before staging began —
+    #: the cache-aware relays that served their subtrees as secondary
+    #: sources instead of waiting for the root pass.
+    warm_nodes: tuple[int, ...] = ()
+    #: Batched read requests the source-reading daemons issued (never
+    #: exceeds the number of distinct cold images at the root).
+    source_reads: int = 0
 
     @property
     def makespan_s(self) -> float:
@@ -100,6 +128,7 @@ class RelayDaemon(SteppedProgram):
         network_latency_s: float,
         pipelined: bool,
         spawn_s: float,
+        chunk_bytes: "int | None" = None,
     ) -> None:
         self.index = index
         self.node = node
@@ -112,13 +141,20 @@ class RelayDaemon(SteppedProgram):
         self.network_latency_s = network_latency_s
         self.pipelined = pipelined
         self.spawn_s = spawn_s
+        self.chunk_bytes = chunk_bytes
         self.inbox = Mailbox()
         self.parent: "RelayDaemon | None" = None
         self.children: list["RelayDaemon"] = []
+        #: Paths whose images the node's cache held before staging began
+        #: (set by the overlay) — served to the subtree, never awaited.
+        self.warm_paths: frozenset[str] = frozenset()
         #: path -> seconds the image became available on this node.
         self.landed: dict[str, float] = {}
+        #: path -> bytes received so far (chunked transfers in flight).
+        self._received_bytes: dict[str, int] = {}
         self._egress: list[tuple[float, float]] = []
         self.relay_sends = 0
+        self.source_reads = 0
         self.completed = False
         self._blocked = False
 
@@ -150,6 +186,8 @@ class RelayDaemon(SteppedProgram):
         if self.spawn_s > 0.0:
             self.node.clock.add_seconds(self.spawn_s)
             yield
+        if self.warm_paths:
+            yield from self._serve_warm_images()
         if self.reads_source:
             yield from self._read_from_source()
         else:
@@ -157,22 +195,45 @@ class RelayDaemon(SteppedProgram):
         if not self.pipelined:
             for child in self.children:
                 for image in self.images:
-                    self._send(child, image, synchronous=True)
+                    if image.path in child.warm_paths:
+                        continue
+                    self._send_image(child, image, synchronous=True)
                 yield
         self.completed = True
 
     # -- staging work -------------------------------------------------------
+    def _chunks(self, image: FileImage) -> Iterator[tuple[int, int]]:
+        """(offset, size) spans of one image at the relay granularity."""
+        chunk = self.chunk_bytes or image.size_bytes
+        offset = 0
+        while offset < image.size_bytes:
+            size = min(chunk, image.size_bytes - offset)
+            yield offset, size
+            offset += size
+
+    def _serve_warm_images(self) -> Generator[None, None, None]:
+        """Cache-aware relaying: warm images are available at launch and
+        (under cut-through) fan out to the cold children immediately —
+        this daemon is a secondary source, not a blocked receiver."""
+        for image in self.images:
+            if image.path not in self.warm_paths:
+                continue
+            # A pre-warmed cache (reused batch allocation) already holds
+            # the image: available since job launch.
+            self.landed[image.path] = 0.0
+            if self.pipelined:
+                yield from self._relay_image(image)
+            yield
+
     def _read_from_source(self) -> Generator[None, None, None]:
         for image, source_image in zip(self.images, self.read_images):
-            if self.node.buffer_cache.contains(image):
-                # A pre-warmed cache (reused batch allocation) already
-                # holds the image: available since job launch.
-                self.landed[image.path] = 0.0
-            else:
-                self.node.read_file(source_image)
-                self.landed[image.path] = self.node.clock.seconds
+            if image.path in self.landed:  # warm, served above
+                continue
+            self.node.read_file(source_image)
+            self.source_reads += 1
+            self.landed[image.path] = self.node.clock.seconds
             if self.pipelined:
-                self._relay(image)
+                yield from self._relay_image(image)
             yield
 
     def _receive_from_parent(self) -> Generator[None, None, None]:
@@ -180,6 +241,8 @@ class RelayDaemon(SteppedProgram):
             raise DistributionError(
                 f"relay daemon {self.index} has no parent and no source"
             )
+        # Warm images were landed before this loop, so only the cold
+        # remainder is awaited — the parent skips sending anything else.
         while len(self.landed) < len(self.images):
             message = self.inbox.receive()
             if message is None:
@@ -193,27 +256,56 @@ class RelayDaemon(SteppedProgram):
                 yield
                 continue
             self._blocked = False
-            arrival, image = message
-            assert isinstance(image, FileImage)
+            arrival, chunk = message
+            assert isinstance(chunk, RelayChunk)
             self.node.clock.advance_to_seconds(arrival)
-            if self.node.buffer_cache.contains(image):
-                self.landed.setdefault(image.path, 0.0)
-            else:
-                self.node.buffer_cache.install(image)
+            image = chunk.image
+            self.node.buffer_cache.install(image, chunk.offset, chunk.size)
+            received = self._received_bytes.get(image.path, 0) + chunk.size
+            self._received_bytes[image.path] = received
+            if received >= image.size_bytes:
                 self.landed[image.path] = self.node.clock.seconds
             if self.pipelined:
-                self._relay(image)
+                # Cut-through: forward the chunk before the rest of the
+                # image has even arrived.
+                for child in self.children:
+                    if image.path in child.warm_paths:
+                        continue
+                    self._send_chunk(child, chunk, synchronous=False)
             yield
 
-    def _relay(self, image: FileImage) -> None:
-        """Cut-through: forward ``image`` to every child right now."""
-        for child in self.children:
-            self._send(child, image, synchronous=False)
+    def _relay_image(self, image: FileImage) -> Generator[None, None, None]:
+        """Cut-through: stream ``image`` to every cold child chunk by
+        chunk (chunk-major, so the first chunk reaches every child before
+        the second is queued anywhere)."""
+        targets = [
+            child
+            for child in self.children
+            if image.path not in child.warm_paths
+        ]
+        if not targets:
+            return
+        for offset, size in self._chunks(image):
+            chunk = RelayChunk(image=image, offset=offset, size=size)
+            for child in targets:
+                self._send_chunk(child, chunk, synchronous=False)
+            yield
 
-    def _send(
+    def _send_image(
         self, child: "RelayDaemon", image: FileImage, synchronous: bool
     ) -> None:
-        """Book one image transfer on this node's egress link.
+        """Book one whole-image transfer (as chunks) on the egress link."""
+        for offset, size in self._chunks(image):
+            self._send_chunk(
+                child,
+                RelayChunk(image=image, offset=offset, size=size),
+                synchronous=synchronous,
+            )
+
+    def _send_chunk(
+        self, child: "RelayDaemon", chunk: RelayChunk, synchronous: bool
+    ) -> None:
+        """Book one chunk transfer on this node's egress link.
 
         ``synchronous`` (store-and-forward) rides the daemon's clock on
         the link — the next send cannot start earlier; asynchronous
@@ -221,13 +313,13 @@ class RelayDaemon(SteppedProgram):
         the NIC drain while the daemon keeps receiving.
         """
         service = self.network_latency_s + (
-            image.size_bytes / self.egress_bandwidth_bps
+            chunk.size / self.egress_bandwidth_bps
         )
         begin = reserve(self._egress, self.node.clock.seconds, service)
         end = begin + service
         if synchronous:
             self.node.clock.advance_to_seconds(end)
-        child.inbox.deliver(end, image)
+        child.inbox.deliver(end, chunk)
         self.relay_sends += 1
 
 
@@ -317,9 +409,23 @@ class DistributionOverlay:
                 network_latency_s=self.network.latency_s,
                 pipelined=spec.pipelined,
                 spawn_s=spec.daemon_spawn_s,
+                chunk_bytes=spec.chunk_bytes,
             )
             for index in range(n_nodes)
         ]
+        # Cache-aware wiring: snapshot each node's pre-staged residency
+        # before any daemon runs (the pass itself mutates the caches).
+        for daemon in self.daemons:
+            daemon.warm_paths = frozenset(
+                image.path
+                for image in images
+                if daemon.node.buffer_cache.contains(image)
+            )
+        warm_nodes = tuple(
+            daemon.index
+            for daemon in self.daemons
+            if len(daemon.warm_paths) == len(images)
+        )
         for parent_index, kids in enumerate(children):
             parent = self.daemons[parent_index]
             for child_index in kids:
@@ -353,4 +459,7 @@ class DistributionOverlay:
             per_node_done_s=tuple(per_node_done),
             root_read_s=root_read_s,
             relay_sends=sum(daemon.relay_sends for daemon in self.daemons),
+            chunk_bytes=spec.chunk_bytes,
+            warm_nodes=warm_nodes,
+            source_reads=sum(daemon.source_reads for daemon in self.daemons),
         )

@@ -40,6 +40,10 @@ class NodeRouter:
             )
         self.plan = plan
         self.node_index = node_index
+        #: True when this node's cache held the full set before staging
+        #: began (a cache-aware warm relay): every routed read is
+        #: satisfiable at launch, so the router can never stall.
+        self.warm = node_index in plan.warm_nodes
         #: Observability counters: how often readers actually blocked.
         self.lookups = 0
         self.stalls = 0

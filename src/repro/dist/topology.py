@@ -68,6 +68,13 @@ class DistributionSpec:
     #: ``True``: cut-through — each image is relayed as soon as it lands,
     #: with sends serialized on the per-node egress link reservations.
     pipelined: bool = False
+    #: Relay granularity in bytes.  ``None`` (default) relays whole
+    #: images — the pre-chunking behaviour.  A positive integer streams
+    #: every transfer as ``ceil(size / chunk_bytes)`` chunks, so under
+    #: ``pipelined=True`` a relay starts forwarding chunk *i* while
+    #: still receiving chunk *i+1* (true cut-through; the analytic twin
+    #: is ``staging_seconds(..., StagingStrategy.PIPELINED)``).
+    chunk_bytes: "int | None" = None
     #: Per-daemon spawn latency charged before any staging work.
     daemon_spawn_s: float = 0.0
     #: Relay nodes whose egress links are degraded (a flaky NIC, a busy
@@ -95,6 +102,20 @@ class DistributionSpec:
                 f"relay slowdown must be >= 1, got "
                 f"{self.straggler_relay_slowdown}"
             )
+        if self.chunk_bytes is not None:
+            # bool is an int subclass; True would silently mean a 1-byte
+            # chunk, so it is rejected along with floats and strings.
+            if not isinstance(self.chunk_bytes, int) or isinstance(
+                self.chunk_bytes, bool
+            ):
+                raise ConfigError(
+                    f"chunk_bytes must be a positive integer (or None for "
+                    f"whole-image relaying), got {self.chunk_bytes!r}"
+                )
+            if self.chunk_bytes <= 0:
+                raise ConfigError(
+                    f"chunk_bytes must be positive, got {self.chunk_bytes}"
+                )
 
     @property
     def label(self) -> str:
@@ -106,11 +127,21 @@ class DistributionSpec:
         return self.topology.value
 
     @classmethod
-    def from_name(cls, name: str, fanout: int = 2) -> "DistributionSpec | None":
+    def from_name(
+        cls,
+        name: str,
+        fanout: int = 2,
+        pipelined: bool = False,
+        chunk_bytes: "int | None" = None,
+    ) -> "DistributionSpec | None":
         """Build a spec from a CLI strategy name (``none`` -> ``None``).
 
         Names: ``none``, ``flat`` (NFS-direct staging daemons), ``pfs``
         (flat from the parallel FS), ``binomial``, ``kary``.
+        ``pipelined``/``chunk_bytes`` (the CLI's ``--pipelined`` and
+        ``--chunk-bytes``) select chunked cut-through relaying on the
+        tree topologies; they are ignored by the flat ones, which have
+        nothing to relay.
         """
         if name == "none":
             return None
@@ -119,9 +150,18 @@ class DistributionSpec:
         if name == "pfs":
             return cls(topology=Topology.FLAT, source="pfs")
         if name == "binomial":
-            return cls(topology=Topology.BINOMIAL)
+            return cls(
+                topology=Topology.BINOMIAL,
+                pipelined=pipelined,
+                chunk_bytes=chunk_bytes,
+            )
         if name == "kary":
-            return cls(topology=Topology.KARY, fanout=fanout)
+            return cls(
+                topology=Topology.KARY,
+                fanout=fanout,
+                pipelined=pipelined,
+                chunk_bytes=chunk_bytes,
+            )
         raise ConfigError(
             f"unknown distribution {name!r}; choose from {DISTRIBUTION_NAMES}"
         )
@@ -164,6 +204,51 @@ def children_map(
         if fanout < 1:
             raise ConfigError(f"fan-out must be >= 1, got {fanout}")
         return [kary_children(i, n_nodes, fanout) for i in range(n_nodes)]
+    raise ConfigError(f"unknown topology {topology!r}")  # pragma: no cover
+
+
+def root_fanout(topology: Topology, n_nodes: int, fanout: int = 2) -> int:
+    """Number of children the root relays to (0 for FLAT / single node).
+
+    The root's egress link is the broadcast bottleneck: every chunk it
+    relays occupies the link once per child, which is what the pipelined
+    closed form charges.
+    """
+    if n_nodes < 1:
+        raise ConfigError(f"need at least one node, got {n_nodes}")
+    if topology is Topology.FLAT or n_nodes == 1:
+        return 0
+    if topology is Topology.BINOMIAL:
+        return len(binomial_children(0, n_nodes))
+    if topology is Topology.KARY:
+        if fanout < 1:
+            raise ConfigError(f"fan-out must be >= 1, got {fanout}")
+        return len(kary_children(0, n_nodes, fanout))
+    raise ConfigError(f"unknown topology {topology!r}")  # pragma: no cover
+
+
+def tree_depth(topology: Topology, n_nodes: int, fanout: int = 2) -> int:
+    """Edges on the longest root-to-leaf path (0 for FLAT / single node)."""
+    if n_nodes < 1:
+        raise ConfigError(f"need at least one node, got {n_nodes}")
+    if topology is Topology.FLAT or n_nodes == 1:
+        return 0
+    if topology is Topology.BINOMIAL:
+        # Node i sits at depth popcount(i); the deepest index below n is
+        # either n-1 itself or the widest all-ones pattern under it.
+        top = n_nodes - 1
+        return max(bin(top).count("1"), top.bit_length() - 1)
+    if topology is Topology.KARY:
+        if fanout < 1:
+            raise ConfigError(f"fan-out must be >= 1, got {fanout}")
+        if fanout == 1:
+            return n_nodes - 1
+        depth = 0
+        index = n_nodes - 1
+        while index > 0:
+            index = (index - 1) // fanout
+            depth += 1
+        return depth
     raise ConfigError(f"unknown topology {topology!r}")  # pragma: no cover
 
 

@@ -9,17 +9,23 @@ scalability of this current practice".  Three strategies are modelled:
 - **collective**: one node reads each DLL once from NFS, then the set is
   fanned out over the interconnect with a binomial-tree broadcast (the
   proposed OS extension),
-- **parallel_fs**: stage the DLLs on a striped parallel file system.
+- **parallel_fs**: stage the DLLs on a striped parallel file system,
+- **pipelined**: the collective's cut-through refinement — the root
+  relays each image in ``chunk_bytes``-sized chunks the moment it lands,
+  so a relay forwards chunk *i* while receiving chunk *i+1* and the tree
+  fills like a pipeline instead of draining level by level.
 
 These closed forms are the *analytic twins* of the stepped distribution
 overlay (:mod:`repro.dist`): ``INDEPENDENT`` corresponds to a flat
 NFS-sourced overlay, ``COLLECTIVE`` to the store-and-forward binomial
-broadcast, ``PARALLEL_FS`` to a flat PFS-sourced overlay.  On a
-homogeneous cold cluster the stepped overlay's staging makespan matches
-:func:`staging_seconds` (the golden tests pin ``COLLECTIVE`` within 5%);
-the overlay additionally expresses what no closed form can — emergent
-per-link queueing, straggling relays, partial warm mixes, and the
-per-(node, image) availability times a running job's reads block on.
+broadcast, ``PARALLEL_FS`` to a flat PFS-sourced overlay, and
+``PIPELINED`` to ``DistributionSpec(pipelined=True, chunk_bytes=...)``
+on either tree topology.  On a homogeneous cold cluster the stepped
+overlay's staging makespan matches :func:`staging_seconds` (the golden
+tests pin ``COLLECTIVE`` and ``PIPELINED`` within 5%); the overlay
+additionally expresses what no closed form can — emergent per-link
+queueing, straggling relays, partial warm mixes (cache-aware relays),
+and the per-(node, image) availability times a job's reads block on.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from __future__ import annotations
 import enum
 import math
 
+from repro.dist.topology import Topology, root_fanout, tree_depth
 from repro.errors import ConfigError
 from repro.fs.nfs import NFSServer
 from repro.fs.parallelfs import ParallelFileSystem
@@ -39,6 +46,67 @@ class StagingStrategy(enum.Enum):
     INDEPENDENT = "independent"
     COLLECTIVE = "collective"
     PARALLEL_FS = "parallel_fs"
+    PIPELINED = "pipelined"
+
+
+def pipelined_staging_seconds(
+    total_bytes: int,
+    n_files: int,
+    n_nodes: int,
+    nfs: NFSServer | None = None,
+    network: NetworkModel | None = None,
+    topology: Topology = Topology.BINOMIAL,
+    fanout: int = 2,
+    chunk_bytes: "int | None" = None,
+) -> float:
+    """Closed form of the chunked cut-through broadcast's makespan.
+
+    The root reads each image once from NFS and streams it to its ``K``
+    children in ``C = ceil(size / chunk)`` chunks; every relay forwards a
+    chunk the moment it lands.  Two regimes bound the root's last send:
+    *egress-bound* (the NIC drains slower than NFS produces — the first
+    image's landing plus the whole egress backlog) and *read-bound* (NFS
+    is the bottleneck — the full serial read plus the last image's
+    fan-out).  Below the root the tree fills like a pipeline: a k-ary
+    tree adds ``(depth - 1)`` per-level chunk slots of ``K`` sends each,
+    while the binomial tree's fan-out shrinks one child per level, which
+    exactly absorbs the fill — its pipeline latency is hidden inside the
+    root's own drain.  Chunks only granulate the interconnect; the NFS
+    pass stays one batched request per image, so the root's request
+    count never exceeds the image count.
+    """
+    if total_bytes < 0 or n_files < 1 or n_nodes < 1:
+        raise ConfigError("invalid staging parameters")
+    if chunk_bytes is not None and chunk_bytes <= 0:
+        raise ConfigError(f"chunk_bytes must be positive, got {chunk_bytes}")
+    nfs = nfs or NFSServer()
+    network = network or NetworkModel()
+    if topology is Topology.FLAT:
+        # Nothing to relay: flat pipelined staging is independent reads.
+        return staging_seconds(
+            total_bytes, n_files, n_nodes, StagingStrategy.INDEPENDENT, nfs=nfs
+        )
+    nfs.set_concurrency(1)
+    read_all = nfs.read_seconds(total_bytes, n_ops=n_files)
+    if n_nodes == 1:
+        return read_all
+    file_bytes = total_bytes / n_files
+    chunk = file_bytes if chunk_bytes is None else min(chunk_bytes, file_bytes)
+    chunks_per_file = max(1, math.ceil(file_bytes / chunk)) if chunk > 0 else 1
+    children = root_fanout(topology, n_nodes, fanout)
+    depth = tree_depth(topology, n_nodes, fanout)
+    chunk_slot = network.latency_s + chunk / network.bandwidth_bps
+    per_child_file = (
+        chunks_per_file * network.latency_s
+        + file_bytes / network.bandwidth_bps
+    )
+    read_first = nfs.latency_s + file_bytes / nfs.bandwidth_bps
+    egress_bound = read_first + children * n_files * per_child_file
+    read_bound = read_all + children * per_child_file
+    makespan = max(egress_bound, read_bound)
+    if topology is Topology.KARY:
+        makespan += (depth - 1) * children * chunk_slot
+    return makespan
 
 
 def staging_seconds(
@@ -49,13 +117,32 @@ def staging_seconds(
     nfs: NFSServer | None = None,
     pfs: ParallelFileSystem | None = None,
     network: NetworkModel | None = None,
+    topology: Topology = Topology.BINOMIAL,
+    fanout: int = 2,
+    chunk_bytes: "int | None" = None,
 ) -> float:
-    """Seconds until *every* node holds the full DLL set, cold caches."""
+    """Seconds until *every* node holds the full DLL set, cold caches.
+
+    ``topology``/``fanout``/``chunk_bytes`` parameterize the
+    ``PIPELINED`` strategy only (the cut-through broadcast's tree shape
+    and relay granularity); the other strategies ignore them.
+    """
     if total_bytes < 0 or n_files < 1 or n_nodes < 1:
         raise ConfigError("invalid staging parameters")
     nfs = nfs or NFSServer()
     pfs = pfs or ParallelFileSystem()
     network = network or NetworkModel()
+    if strategy is StagingStrategy.PIPELINED:
+        return pipelined_staging_seconds(
+            total_bytes,
+            n_files,
+            n_nodes,
+            nfs=nfs,
+            network=network,
+            topology=topology,
+            fanout=fanout,
+            chunk_bytes=chunk_bytes,
+        )
     if strategy is StagingStrategy.INDEPENDENT:
         nfs.set_concurrency(n_nodes)
         try:

@@ -83,6 +83,37 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="fan-out degree of the kary distribution tree",
     )
+    parser.add_argument(
+        "--pipelined",
+        action="store_true",
+        help=(
+            "cut-through relaying on the tree distributions: forward each "
+            "image (or chunk) as soon as it lands instead of "
+            "store-and-forwarding the full set"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "relay granularity of the distribution overlay (default: whole "
+            "images; also sets the cut-through cell of the mitigation "
+            "experiment)"
+        ),
+    )
+    parser.add_argument(
+        "--warm-fraction",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "fraction of nodes whose buffer caches start warm — warm relay "
+            "daemons serve their subtrees from the local cache (mitigation "
+            "warm-mix axis / job warm mix)"
+        ),
+    )
 
 
 def _distribution_from_args(args: argparse.Namespace):
@@ -90,7 +121,12 @@ def _distribution_from_args(args: argparse.Namespace):
         return None
     from repro.dist.topology import DistributionSpec
 
-    return DistributionSpec.from_name(args.distribution, fanout=args.fanout)
+    return DistributionSpec.from_name(
+        args.distribution,
+        fanout=args.fanout,
+        pipelined=args.pipelined,
+        chunk_bytes=args.chunk_bytes,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,6 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the results (tables + metrics) as JSON",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "disk-backed sweep cache for experiments that take one "
+            "(mitigation): large grid cells replay across processes "
+            "instead of re-simulating"
+        ),
     )
     job_parser = sub.add_parser(
         "job", help="simulate one N-task Pynamic job and print its report"
@@ -166,6 +212,9 @@ def main(argv: list[str] | None = None) -> int:
                 engine=args.engine,
                 distribution=_distribution_from_args(args),
                 node_counts=args.node_counts,
+                chunk_bytes=args.chunk_bytes,
+                warm_fraction=args.warm_fraction,
+                cache_dir=args.cache_dir,
             )
             collected[name] = result
             print(result.render())
@@ -182,12 +231,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "job":
         from repro.core.job import PynamicJob
 
+        scenario = None
+        if args.warm_fraction is not None:
+            from repro.core.multirank import JobScenario
+
+            scenario = JobScenario(warm_node_fraction=args.warm_fraction)
+        # Warm mixes only exist under the multi-rank engine, so a bare
+        # --warm-fraction selects it rather than crashing on the
+        # analytic default.
+        default_engine = "multirank" if scenario is not None else "analytic"
         report = PynamicJob(
             config=_config_from_args(args),
             n_tasks=args.tasks,
             cores_per_node=args.cores_per_node,
             warm_file_cache=args.warm,
-            engine=args.engine or "analytic",
+            engine=args.engine or default_engine,
+            scenario=scenario,
             distribution=_distribution_from_args(args),
         ).run()
         print(

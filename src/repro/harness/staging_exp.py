@@ -29,11 +29,18 @@ def run() -> ExperimentResult:
                 comparison[StagingStrategy.INDEPENDENT][nodes],
                 comparison[StagingStrategy.COLLECTIVE][nodes],
                 comparison[StagingStrategy.PARALLEL_FS][nodes],
+                comparison[StagingStrategy.PIPELINED][nodes],
             ]
         )
     result.add_table(
         "seconds until every node holds the DLL set (cold)",
-        ["nodes", "independent NFS", "collective open", "parallel FS"],
+        [
+            "nodes",
+            "independent NFS",
+            "collective open",
+            "parallel FS",
+            "pipelined cut-through",
+        ],
         rows,
     )
     biggest = node_counts[-1]

@@ -96,6 +96,12 @@ class TestTopology:
             DistributionSpec(straggler_relay_slowdown=0.5)
         with pytest.raises(ConfigError):
             DistributionSpec(daemon_spawn_s=-1.0)
+        with pytest.raises(ConfigError):
+            DistributionSpec(chunk_bytes=0)
+        with pytest.raises(ConfigError):
+            DistributionSpec(chunk_bytes=-4096)
+        with pytest.raises(ConfigError):
+            DistributionSpec(chunk_bytes=4096.0)
 
     def test_labels_and_names(self):
         assert DistributionSpec().label == "binomial"

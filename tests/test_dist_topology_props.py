@@ -1,0 +1,196 @@
+"""Property tests for the distribution-overlay topologies.
+
+The overlay wires relay daemons straight from :func:`children_map`, so
+the whole staging subsystem rests on a handful of structural invariants:
+every node is reachable from the root exactly once, the graph has no
+cycles, and the parent/child maps are mutual inverses.  These hold for
+*every* (topology, n_nodes, fanout) combination, which is exactly what
+hypothesis is for.  ``derandomize=True`` keeps the suite deterministic
+run to run (the acceptance bar: passes under a fixed seed).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.topology import (
+    Topology,
+    binomial_children,
+    children_map,
+    kary_children,
+    parent_map,
+    root_fanout,
+    tree_depth,
+)
+from repro.errors import ConfigError
+
+_settings = settings(max_examples=80, deadline=None, derandomize=True)
+
+_n_nodes = st.integers(min_value=1, max_value=700)
+_fanout = st.integers(min_value=1, max_value=9)
+_tree = st.sampled_from([Topology.BINOMIAL, Topology.KARY])
+
+
+def _descendants(children: list[list[int]]) -> set[int]:
+    """Nodes reachable from the root, walking the children map."""
+    seen: set[int] = set()
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            raise AssertionError(f"node {node} reached twice")
+        seen.add(node)
+        frontier.extend(children[node])
+    return seen
+
+
+class TestTreeReachability:
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout, topology=_tree)
+    def test_every_node_reached_exactly_once(self, n_nodes, fanout, topology):
+        children = children_map(topology, n_nodes, fanout)
+        assert _descendants(children) == set(range(n_nodes))
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout, topology=_tree)
+    def test_every_non_root_has_exactly_one_parent(
+        self, n_nodes, fanout, topology
+    ):
+        children = children_map(topology, n_nodes, fanout)
+        appearances: dict[int, int] = {}
+        for kids in children:
+            for child in kids:
+                appearances[child] = appearances.get(child, 0) + 1
+        assert appearances.get(0, 0) == 0  # the root is nobody's child
+        for node in range(1, n_nodes):
+            assert appearances.get(node, 0) == 1
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout, topology=_tree)
+    def test_no_cycles_parents_precede_children(
+        self, n_nodes, fanout, topology
+    ):
+        # Heap/round ordering: every edge goes strictly index-upward, so
+        # no walk can revisit a node — the overlay relies on this to
+        # wire daemons without cycles.
+        children = children_map(topology, n_nodes, fanout)
+        for parent, kids in enumerate(children):
+            for child in kids:
+                assert parent < child
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout, topology=_tree)
+    def test_parent_and_children_maps_are_mutual_inverses(
+        self, n_nodes, fanout, topology
+    ):
+        children = children_map(topology, n_nodes, fanout)
+        parents = parent_map(children)
+        assert parents[0] is None
+        rebuilt: list[list[int]] = [[] for _ in range(n_nodes)]
+        for child in range(1, n_nodes):
+            parent = parents[child]
+            assert parent is not None
+            assert child in children[parent]
+            rebuilt[parent].append(child)
+        assert [sorted(kids) for kids in rebuilt] == [
+            sorted(kids) for kids in children
+        ]
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout)
+    def test_flat_topology_has_no_edges(self, n_nodes, fanout):
+        children = children_map(Topology.FLAT, n_nodes, fanout)
+        assert children == [[] for _ in range(n_nodes)]
+        assert parent_map(children) == [None] * n_nodes
+
+
+class TestPerNodeGenerators:
+    @_settings
+    @given(n_nodes=_n_nodes)
+    def test_binomial_rows_match_children_map(self, n_nodes):
+        children = children_map(Topology.BINOMIAL, n_nodes)
+        for index in range(n_nodes):
+            assert children[index] == binomial_children(index, n_nodes)
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout)
+    def test_kary_rows_match_children_map(self, n_nodes, fanout):
+        children = children_map(Topology.KARY, n_nodes, fanout)
+        for index in range(n_nodes):
+            assert children[index] == kary_children(index, n_nodes, fanout)
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout)
+    def test_kary_fanout_bound(self, n_nodes, fanout):
+        for index in range(n_nodes):
+            assert len(kary_children(index, n_nodes, fanout)) <= fanout
+
+    @_settings
+    @given(n_nodes=st.integers(min_value=2, max_value=700))
+    def test_binomial_children_strictly_increase(self, n_nodes):
+        for index in range(n_nodes):
+            kids = binomial_children(index, n_nodes)
+            assert kids == sorted(kids)
+            assert all(index < child < n_nodes for child in kids)
+
+
+class TestShapeHelpers:
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout, topology=_tree)
+    def test_tree_depth_matches_walked_depth(self, n_nodes, fanout, topology):
+        children = children_map(topology, n_nodes, fanout)
+        parents = parent_map(children)
+
+        def depth(node: int) -> int:
+            steps = 0
+            current: int | None = node
+            while parents[current] is not None:
+                current = parents[current]
+                steps += 1
+            return steps
+
+        assert tree_depth(topology, n_nodes, fanout) == max(
+            depth(node) for node in range(n_nodes)
+        )
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout, topology=_tree)
+    def test_root_fanout_matches_children_map(self, n_nodes, fanout, topology):
+        children = children_map(topology, n_nodes, fanout)
+        assert root_fanout(topology, n_nodes, fanout) == len(children[0])
+
+    @_settings
+    @given(n_nodes=_n_nodes, fanout=_fanout)
+    def test_flat_shape_helpers_are_zero(self, n_nodes, fanout):
+        assert tree_depth(Topology.FLAT, n_nodes, fanout) == 0
+        assert root_fanout(Topology.FLAT, n_nodes, fanout) == 0
+
+    @_settings
+    @given(n_nodes=st.integers(min_value=2, max_value=200))
+    def test_fanout_one_kary_is_a_chain(self, n_nodes):
+        children = children_map(Topology.KARY, n_nodes, 1)
+        assert all(kids == [index + 1] for index, kids in enumerate(children[:-1]))
+        assert children[-1] == []
+        assert tree_depth(Topology.KARY, n_nodes, 1) == n_nodes - 1
+
+
+class TestValidation:
+    def test_duplicate_parent_rejected(self):
+        with pytest.raises(ConfigError):
+            parent_map([[1, 2], [2], []])
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ConfigError):
+            children_map(Topology.BINOMIAL, 0)
+        with pytest.raises(ConfigError):
+            children_map(Topology.KARY, 8, 0)
+        with pytest.raises(ConfigError):
+            tree_depth(Topology.KARY, 0)
+        with pytest.raises(ConfigError):
+            tree_depth(Topology.KARY, 8, 0)
+        with pytest.raises(ConfigError):
+            root_fanout(Topology.BINOMIAL, 0)
+        with pytest.raises(ConfigError):
+            root_fanout(Topology.KARY, 8, 0)
