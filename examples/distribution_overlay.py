@@ -3,45 +3,39 @@
 Compares cold job startup with demand-paged NFS loading (current
 practice), flat parallel-FS staging, and the binomial tree broadcast the
 paper's Section II.B.2 proposes — then shows the overlay's staging plan
-and knobs.
+and knobs.  The jobs are declared through the Scenario API: each
+strategy is one edit of a shared builder chain, and ``engine=multirank``
+is selected automatically when an overlay is attached.
 
 Run with::
 
     PYTHONPATH=src python examples/distribution_overlay.py
 """
 
-from repro.core import DistributionSpec, PynamicJob, Topology, presets
+from repro.core import DistributionSpec, Topology, presets
 from repro.core.builds import BuildMode, build_benchmark
 from repro.core.generator import generate
 from repro.dist import DistributionOverlay
 from repro.machine.cluster import Cluster
-
-
-def cold_job(distribution=None, n_nodes=16):
-    return PynamicJob(
-        config=presets.tiny(),
-        n_tasks=n_nodes,
-        cores_per_node=1,
-        engine="multirank",
-        distribution=distribution,
-    ).run()
+from repro.scenario import Scenario
 
 
 def main() -> None:
+    base = Scenario.preset("tiny").nodes(16).engine("multirank")
     strategies = {
-        "nfs-direct": None,
-        "parallel-fs": DistributionSpec(topology=Topology.FLAT, source="pfs"),
-        "tree-broadcast": DistributionSpec(topology=Topology.BINOMIAL),
-        "kary-4 (pipelined)": DistributionSpec(
-            topology=Topology.KARY, fanout=4, pipelined=True
+        "nfs-direct": base,
+        "parallel-fs": base.distribution("pfs"),
+        "tree-broadcast": base.distribution("binomial"),
+        "kary-4 (pipelined)": base.distribution(
+            "kary", fanout=4, pipelined=True
         ),
-        "cut-through 64KiB": DistributionSpec(
-            topology=Topology.BINOMIAL, pipelined=True, chunk_bytes=64 * 1024
+        "cut-through 64KiB": base.distribution("binomial").pipelined(
+            chunk_bytes=64 * 1024
         ),
     }
     print("cold 16-node job completion by distribution strategy:")
-    for label, spec in strategies.items():
-        report = cold_job(spec)
+    for label, chain in strategies.items():
+        report = chain.run()
         staging = (
             f"  staging max {report.staging_max:.4f}s "
             f"skew {report.staging_skew_s:.6f}s"

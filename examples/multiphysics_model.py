@@ -14,9 +14,9 @@ import tempfile
 
 from repro.codegen.fileset import write_benchmark_tree
 from repro.codegen.sizes import analytic_totals
-from repro.core import presets
 from repro.core.generator import generate
 from repro.perf.report import render_table
+from repro.scenario import scenario_preset
 
 PAPER_PYNAMIC_MB = {
     "Text": 665,
@@ -29,9 +29,13 @@ PAPER_PYNAMIC_MB = {
 
 
 def main() -> None:
-    config = presets.llnl_multiphysics()
+    # The full-scale model is a registered scenario preset (also
+    # reachable as `pynamic-repro spec show llnl_multiphysics`).
+    spec = scenario_preset("llnl_multiphysics")
+    config = spec.config
     print(
-        f"LLNL multiphysics model: {config.n_modules} modules + "
+        f"LLNL multiphysics model ({spec.spec_hash[:16]}): "
+        f"{config.n_modules} modules + "
         f"{config.n_utilities} utilities x ~{config.avg_functions} functions"
     )
     model_mb = analytic_totals(config).as_mb()

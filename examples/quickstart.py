@@ -1,16 +1,21 @@
 #!/usr/bin/env python3
-"""Quickstart: generate a small Pynamic benchmark and run all three builds.
+"""Quickstart: declare a small Pynamic scenario and run all three builds.
 
-This is the 60-second tour: configure the generator, run the Vanilla,
-Link, and Link+Bind builds on the simulated node, and print a Table-I
-style report showing where each build pays its dynamic-linking bill.
+This is the 60-second tour of the Scenario API: describe the generated
+library set once, then run the Vanilla, Link, and Link+Bind builds by
+swapping one field of the declarative spec — a Table-I style report
+shows where each build pays its dynamic-linking bill.
 
-Run:  python examples/quickstart.py
+(The pre-scenario spelling — ``run_all_modes(config)`` — still works;
+the builder below constructs the same simulations from data.)
+
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import PynamicConfig, run_all_modes
+from repro import PynamicConfig
 from repro.core.builds import BuildMode
 from repro.perf.report import render_table
+from repro.scenario import Scenario
 
 
 def main() -> None:
@@ -25,11 +30,14 @@ def main() -> None:
         f"{config.n_utilities} utility libraries "
         f"(~{config.avg_functions} functions each, seed={config.seed})"
     )
-    results = run_all_modes(config)
+    # One base scenario; each build mode is a one-field variation.
+    base = Scenario().config(config).warm()
 
     rows = []
+    reports = {}
     for mode in BuildMode:
-        report = results[mode].report
+        report = base.mode(mode).run()
+        reports[mode] = report
         rows.append(
             [
                 mode.value,
@@ -37,7 +45,7 @@ def main() -> None:
                 report.import_s,
                 report.visit_s,
                 report.total_s,
-                report.lazy_fixups,
+                report.rank0.lazy_fixups,
             ]
         )
     print()
@@ -48,8 +56,8 @@ def main() -> None:
             title="Pynamic results (simulated; compare the shape of Table I)",
         )
     )
-    vanilla = results[BuildMode.VANILLA].report
-    link = results[BuildMode.LINKED].report
+    vanilla = reports[BuildMode.VANILLA]
+    link = reports[BuildMode.LINKED]
     print()
     print(
         f"pre-linking made import {vanilla.import_s / link.import_s:.1f}x "

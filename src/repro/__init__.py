@@ -19,8 +19,9 @@ from repro.core.builds import BuildMode, build_benchmark
 from repro.core.driver import DriverReport, PynamicDriver
 from repro.core.runner import BenchmarkRunner, RunResult, run_all_modes
 from repro.core import presets
+from repro.scenario import Scenario, ScenarioSpec, scenario_preset, simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BenchmarkRunner",
@@ -29,9 +30,13 @@ __all__ = [
     "PynamicConfig",
     "PynamicDriver",
     "RunResult",
+    "Scenario",
+    "ScenarioSpec",
     "build_benchmark",
     "generate",
     "presets",
     "run_all_modes",
+    "scenario_preset",
+    "simulate",
     "__version__",
 ]

@@ -204,6 +204,14 @@ class JobReport:
 class PynamicJob:
     """Run the benchmark as an N-task job on a sized cluster.
 
+    The declarative spelling is a
+    :class:`repro.scenario.spec.ScenarioSpec` via :meth:`from_scenario`
+    (or the :func:`repro.scenario.simulate` entry point); the keyword
+    constructor below is the legacy spelling, kept as a thin shim —
+    kwargs are normalized into an equivalent spec (``.scenario_spec``)
+    when they are expressible as one, so both spellings share sweep
+    cache entries and produce bit-identical reports.
+
     ``engine="analytic"`` (default) is the fast rank-0 path;
     ``engine="multirank"`` delegates to the discrete-event engine and
     accepts an optional :class:`repro.core.multirank.JobScenario` via
@@ -213,6 +221,25 @@ class PynamicJob:
     relay daemons instead of demand-paged from NFS).  ``hash_style`` and
     ``prelink`` reach the build and linker of either engine.
     """
+
+    @classmethod
+    def from_scenario(cls, scenario_spec: "object") -> "PynamicJob":
+        """Construct the job a :class:`ScenarioSpec` declares."""
+        job = cls(
+            config=scenario_spec.config,
+            mode=scenario_spec.mode,
+            n_tasks=scenario_spec.n_tasks,
+            cores_per_node=scenario_spec.cores_per_node,
+            warm_file_cache=scenario_spec.warm_file_cache,
+            os_profile=scenario_spec.os_profile_instance(),
+            engine=scenario_spec.engine,
+            scenario=scenario_spec.job_scenario(),
+            hash_style=scenario_spec.hash_style,
+            prelink=scenario_spec.prelink,
+            distribution=scenario_spec.distribution,
+        )
+        job.scenario_spec = scenario_spec
+        return job
 
     def __init__(
         self,
@@ -254,6 +281,47 @@ class PynamicJob:
         self.prelink = prelink
         self.distribution = distribution
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
+        self._scenario_spec: "object | None" = None
+        self._scenario_spec_known = False
+
+    @property
+    def scenario_spec(self) -> "object | None":
+        """The canonical declarative spelling of this job, when the
+        kwargs are expressible as one (None for jobs built from a
+        pre-generated BenchmarkSpec, custom OS profiles, or custom
+        scenario objects).  Computed lazily — jobs built via
+        :meth:`from_scenario` carry their spec directly."""
+        if not self._scenario_spec_known:
+            self._scenario_spec = self._normalized_spec()
+            self._scenario_spec_known = True
+        return self._scenario_spec
+
+    @scenario_spec.setter
+    def scenario_spec(self, value: "object | None") -> None:
+        self._scenario_spec = value
+        self._scenario_spec_known = True
+
+    def _normalized_spec(self) -> "object | None":
+        if self.config is None or self.spec is not None:
+            return None
+        from repro.scenario.spec import ScenarioSpec
+
+        try:
+            return ScenarioSpec.from_job_kwargs(
+                config=self.config,
+                mode=self.mode,
+                n_tasks=self.n_tasks,
+                cores_per_node=self.cores_per_node,
+                warm_file_cache=self.warm_file_cache,
+                os_profile=self.os_profile,
+                engine=self.engine,
+                scenario=self.scenario,
+                hash_style=self.hash_style,
+                prelink=self.prelink,
+                distribution=self.distribution,
+            )
+        except ConfigError:
+            return None
 
     def run(self) -> JobReport:
         """Simulate the job with the selected engine."""

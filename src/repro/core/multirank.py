@@ -93,13 +93,16 @@ class JobScenario:
     def __post_init__(self) -> None:
         if self.straggler_slowdown < 1.0:
             raise ConfigError(
-                f"straggler slowdown must be >= 1, got {self.straggler_slowdown}"
+                f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
             )
         if self.os_jitter_s < 0:
-            raise ConfigError(f"negative jitter: {self.os_jitter_s}")
+            raise ConfigError(
+                f"os_jitter_s must be >= 0, got {self.os_jitter_s}"
+            )
         if not 0.0 <= self.warm_node_fraction <= 1.0:
             raise ConfigError(
-                f"warm fraction must be in [0, 1], got {self.warm_node_fraction}"
+                f"warm_node_fraction must be in [0, 1], got "
+                f"{self.warm_node_fraction}"
             )
 
     @property
@@ -230,6 +233,37 @@ class MultiRankJob:
     linker blocks on the staged availability instead of demand-paging
     from NFS.
     """
+
+    @classmethod
+    def from_scenario(
+        cls, scenario_spec: "object", batch_homogeneous: bool = True
+    ) -> "MultiRankJob":
+        """Construct the engine run a :class:`ScenarioSpec` declares.
+
+        The legacy keyword constructor below remains as a thin shim for
+        callers that predate the scenario API; this is the declarative
+        spelling.  ``batch_homogeneous`` stays a constructor knob — it
+        selects an equivalent fast path, not a different measurement,
+        so it is not part of the spec (or its hash).
+        """
+        if scenario_spec.engine != "multirank":
+            raise ConfigError(
+                f"engine: MultiRankJob runs engine='multirank' specs, "
+                f"got {scenario_spec.engine!r}"
+            )
+        return cls(
+            config=scenario_spec.config,
+            mode=scenario_spec.mode,
+            n_tasks=scenario_spec.n_tasks,
+            cores_per_node=scenario_spec.cores_per_node,
+            warm_file_cache=scenario_spec.warm_file_cache,
+            os_profile=scenario_spec.os_profile_instance(),
+            scenario=scenario_spec.job_scenario(),
+            hash_style=scenario_spec.hash_style,
+            prelink=scenario_spec.prelink,
+            batch_homogeneous=batch_homogeneous,
+            distribution=scenario_spec.distribution,
+        )
 
     def __init__(
         self,

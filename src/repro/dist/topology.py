@@ -85,21 +85,24 @@ class DistributionSpec:
 
     def __post_init__(self) -> None:
         if self.fanout < 1:
-            raise ConfigError(f"fan-out must be >= 1, got {self.fanout}")
+            raise ConfigError(f"fanout must be >= 1, got {self.fanout}")
         if self.source not in SOURCES:
             raise ConfigError(
-                f"unknown staging source {self.source!r}; choose from {SOURCES}"
+                f"source: unknown staging source {self.source!r}; choose "
+                f"from {SOURCES}"
             )
         if not 0.0 < self.relay_bandwidth_share <= 1.0:
             raise ConfigError(
-                f"relay bandwidth share must be in (0, 1], got "
+                f"relay_bandwidth_share must be in (0, 1], got "
                 f"{self.relay_bandwidth_share}"
             )
         if self.daemon_spawn_s < 0:
-            raise ConfigError(f"negative spawn latency: {self.daemon_spawn_s}")
+            raise ConfigError(
+                f"daemon_spawn_s must be >= 0, got {self.daemon_spawn_s}"
+            )
         if self.straggler_relay_slowdown < 1.0:
             raise ConfigError(
-                f"relay slowdown must be >= 1, got "
+                f"straggler_relay_slowdown must be >= 1, got "
                 f"{self.straggler_relay_slowdown}"
             )
         if self.chunk_bytes is not None:

@@ -7,7 +7,12 @@ repro.harness.cli run all`` reproduces everything in one go.
 """
 
 from repro.harness.experiments import ExperimentResult, REGISTRY, register, run_experiment
-from repro.harness.sweep import SweepRunner, sweep_job_reports, sweep_mode_reports
+from repro.harness.sweep import (
+    SweepRunner,
+    sweep_job_reports,
+    sweep_mode_reports,
+    sweep_scenarios,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -17,4 +22,5 @@ __all__ = [
     "run_experiment",
     "sweep_job_reports",
     "sweep_mode_reports",
+    "sweep_scenarios",
 ]

@@ -20,26 +20,43 @@ from dataclasses import replace
 from repro.codegen.sizes import analytic_totals
 from repro.core import presets
 from repro.core.builds import BuildMode, build_benchmark
+from repro.core.config import PynamicConfig
 from repro.core.generator import generate
 from repro.core.runner import BenchmarkRunner
 from repro.harness.experiments import ExperimentResult, register
 from repro.machine.cluster import Cluster
 from repro.machine.osprofile import linux_chaos
+from repro.scenario.spec import ScenarioSpec
 from repro.tools.debugger import ParallelDebugger
 
 
+def _shrunk(config: PynamicConfig) -> PynamicConfig:
+    """The seconds-fast variant of an ablation workload (CI smoke)."""
+    return replace(
+        config,
+        n_modules=max(2, config.n_modules // 2),
+        n_utilities=max(1, config.n_utilities // 2),
+        avg_functions=min(config.avg_functions, 40),
+    )
+
+
 @register("ablation_coverage")
-def run_coverage() -> ExperimentResult:
+def run_coverage(smoke: bool = False) -> ExperimentResult:
     """A1: visit cost vs. configured code coverage."""
     result = ExperimentResult(
         name="Code-coverage ablation (lazy binding pays per visited function)",
         paper_reference="Section V (future work)",
     )
     base = replace(presets.table1_config(), n_modules=20, n_utilities=15)
+    if smoke:
+        base = _shrunk(base)
     rows = []
     visits = {}
     for coverage in (0.25, 0.5, 1.0):
         config = replace(base, coverage=coverage)
+        result.declare_scenario(
+            ScenarioSpec(config=config, mode=BuildMode.LINKED, warm_file_cache=True)
+        )
         spec_runner = BenchmarkRunner(config=config, mode=BuildMode.LINKED)
         report = spec_runner.run().report
         visits[coverage] = report.visit_s
@@ -60,13 +77,25 @@ def run_coverage() -> ExperimentResult:
 
 
 @register("ablation_randomization")
-def run_randomization() -> ExperimentResult:
+def run_randomization(smoke: bool = False) -> ExperimentResult:
     """A2: debugger phase 1 with homogeneous vs. randomized link maps."""
     result = ExperimentResult(
         name="Address-randomization ablation (tool shared-parse defeat)",
         paper_reference="Section II.B.2",
     )
-    config = replace(presets.table4_config(), avg_functions=400)
+    config = replace(presets.table4_config(), avg_functions=100 if smoke else 400)
+    result.declare_scenario(
+        *(
+            ScenarioSpec(
+                config=config,
+                mode=BuildMode.LINKED,
+                n_tasks=32,
+                warm_file_cache=True,
+                os_profile=profile,
+            )
+            for profile in ("linux_chaos", "linux_chaos_aslr")
+        )
+    )
     rows = []
     times = {}
     for randomized in (False, True):
@@ -100,18 +129,23 @@ def run_randomization() -> ExperimentResult:
 
 
 @register("ablation_name_length")
-def run_name_length() -> ExperimentResult:
+def run_name_length(smoke: bool = False) -> ExperimentResult:
     """A3: string-table size and import cost vs. symbol-name length."""
     result = ExperimentResult(
         name="Symbol-name-length ablation",
         paper_reference="Section III / Table III",
     )
     base = replace(presets.table1_config(), n_modules=12, n_utilities=9)
+    if smoke:
+        base = _shrunk(base)
     rows = []
     imports = {}
     strtabs = {}
     for name_length in (32, 128, 236):
         config = replace(base, name_length=name_length)
+        result.declare_scenario(
+            ScenarioSpec(config=config, warm_file_cache=True)
+        )
         strtab_mb = analytic_totals(config).as_mb()["String Table"]
         report = BenchmarkRunner(config=config, mode=BuildMode.VANILLA).run().report
         imports[name_length] = report.import_s
@@ -128,7 +162,7 @@ def run_name_length() -> ExperimentResult:
 
 
 @register("ablation_hash_style")
-def run_hash_style() -> ExperimentResult:
+def run_hash_style(smoke: bool = False) -> ExperimentResult:
     """A4: SysV hash (2007) vs. DT_GNU_HASH (the later fix).
 
     The GNU hash's Bloom filter rejects objects that cannot define a
@@ -143,9 +177,19 @@ def run_hash_style() -> ExperimentResult:
         paper_reference="Section IV.A (mechanism) / post-paper toolchain fix",
     )
     config = replace(presets.table1_config(), n_modules=20, n_utilities=15)
+    if smoke:
+        config = _shrunk(config)
     rows = []
     visits = {}
     for style in (HashStyle.SYSV, HashStyle.GNU):
+        result.declare_scenario(
+            ScenarioSpec(
+                config=config,
+                mode=BuildMode.LINKED,
+                warm_file_cache=True,
+                hash_style=style,
+            )
+        )
         report = BenchmarkRunner(
             config=config, mode=BuildMode.LINKED, hash_style=style
         ).run().report
@@ -174,7 +218,7 @@ def run_hash_style() -> ExperimentResult:
 
 
 @register("ablation_body_memory")
-def run_body_memory() -> ExperimentResult:
+def run_body_memory(smoke: bool = False) -> ExperimentResult:
     """A5: function-body memory footprint (Section V body variation).
 
     "We also could support varying the generated function bodies to
@@ -189,11 +233,16 @@ def run_body_memory() -> ExperimentResult:
         paper_reference="Section V (future work) / Section IV.A theory",
     )
     base = replace(presets.table1_config(), n_modules=16, n_utilities=12)
+    if smoke:
+        base = _shrunk(base)
     rows = []
     visits = {}
     misses = {}
     for footprint in (0, 512, 4096):
         config = replace(base, memory_bytes_per_function=footprint)
+        result.declare_scenario(
+            ScenarioSpec(config=config, warm_file_cache=True)
+        )
         report = BenchmarkRunner(config=config, mode=BuildMode.VANILLA).run().report
         visits[footprint] = report.visit_s
         misses[footprint] = report.counters["visit"].l1d_misses
@@ -211,7 +260,7 @@ def run_body_memory() -> ExperimentResult:
 
 
 @register("ablation_prelink")
-def run_prelink() -> ExperimentResult:
+def run_prelink(smoke: bool = False) -> ExperimentResult:
     """A7: prelink(8) — install-time relocation precomputation.
 
     The contemporary system-software answer to Pynamic-class startup
@@ -225,6 +274,8 @@ def run_prelink() -> ExperimentResult:
         paper_reference="Section V discussion (system-software changes)",
     )
     config = replace(presets.table1_config(), n_modules=20, n_utilities=15)
+    if smoke:
+        config = _shrunk(config)
     rows = []
     timings = {}
     for label, mode, prelink in (
@@ -232,6 +283,11 @@ def run_prelink() -> ExperimentResult:
         ("link+bind", BuildMode.LINKED_BIND_NOW, False),
         ("link+prelink", BuildMode.LINKED, True),
     ):
+        result.declare_scenario(
+            ScenarioSpec(
+                config=config, mode=mode, warm_file_cache=True, prelink=prelink
+            )
+        )
         report = BenchmarkRunner(
             config=config, mode=mode, prelink=prelink
         ).run().report

@@ -1,13 +1,23 @@
 """Command-line entry point: ``pynamic-repro``.
 
+The CLI is spec-driven: a job is a :class:`ScenarioSpec`, named presets
+and JSON files are the primary spelling (``--spec``), dotted ``--set``
+overrides edit any field, and the legacy per-knob flags remain as thin
+shims that build the same spec.
+
 Examples::
 
     pynamic-repro list
     pynamic-repro run table1
-    pynamic-repro run all
+    pynamic-repro run all --smoke
     pynamic-repro run job_scaling --engine multirank
-    pynamic-repro run mitigation --json BENCH_mitigation.json
+    pynamic-repro run mitigation_scaled --cache-dir .sweep-cache --json out.json
+    pynamic-repro job --spec tiny --set engine=multirank --set n_tasks=64
+    pynamic-repro job --spec scenario.json --set distribution.pipelined=true
     pynamic-repro job --tasks 64 --engine multirank --distribution binomial
+    pynamic-repro spec show llnl_multiphysics_scaled
+    pynamic-repro spec validate scenario.json
+    pynamic-repro spec schema
     pynamic-repro generate --modules 8 --utilities 6 --avg-functions 40 \\
         --out /tmp/pynamic_tree
     pynamic-repro sizes --modules 280 --utilities 215 --avg-functions 1850 \\
@@ -18,9 +28,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.dist.topology import DISTRIBUTION_NAMES
+from repro.errors import ConfigError
 from repro.harness.experiments import all_experiment_names, run_experiment
 
 
@@ -129,6 +141,130 @@ def _distribution_from_args(args: argparse.Namespace):
     )
 
 
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """The declarative spelling: ``--spec`` + ``--set`` overrides."""
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help=(
+            "run a ScenarioSpec: a preset name (see `spec presets`) or a "
+            "JSON file; the per-knob flags are ignored when given"
+        ),
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="overrides",
+        help=(
+            "override a spec field by dotted path (repeatable), e.g. "
+            "--set n_tasks=64 --set config.n_modules=8 "
+            "--set distribution.topology=kary; values are parsed as JSON "
+            "(bare words are strings)"
+        ),
+    )
+
+
+def _load_spec(source: str):
+    """Resolve ``--spec``: a JSON file path or a preset name."""
+    from repro.scenario import ScenarioSpec, scenario_preset
+
+    looks_like_path = (
+        source.endswith(".json")
+        or os.path.sep in source
+        or os.path.exists(source)
+    )
+    if not looks_like_path:
+        return scenario_preset(source)
+    try:
+        with open(source, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(f"--spec {source}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"--spec {source}: not valid JSON ({exc})") from None
+    return ScenarioSpec.from_dict(data)
+
+
+def _apply_overrides(spec, assignments: list[str]):
+    """Apply dotted ``--set key=value`` edits and re-validate.
+
+    Mirrors the fluent builder's engine auto-selection: an override
+    that adds an overlay or heterogeneity to an analytic spec upgrades
+    the engine to multirank, unless an override pins ``engine``
+    explicitly.
+    """
+    from repro.scenario import ScenarioSpec
+
+    data = spec.to_dict()
+    engine_pinned = False
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        if not sep or not key:
+            raise ConfigError(
+                f"--set expects KEY=VALUE, got {assignment!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw  # bare words are strings ("--set engine=multirank")
+        node = data
+        parts = key.split(".")
+        for part in parts[:-1]:
+            child = node.get(part)
+            if child is None:
+                child = {}
+                node[part] = child
+            if not isinstance(child, dict):
+                raise ConfigError(
+                    f"--set {key}: {part!r} is not an object field"
+                )
+            node = child
+        node[parts[-1]] = value
+        if key == "engine":
+            engine_pinned = True
+    try:
+        return ScenarioSpec.from_dict(data)
+    except ConfigError:
+        # An override added an overlay or heterogeneity to an analytic
+        # spec: retry on the engine those fields demand (the fluent
+        # builder's auto-selection), unless an override pinned engine.
+        if engine_pinned or data.get("engine", "analytic") != "analytic":
+            raise
+        data["engine"] = "multirank"
+        return ScenarioSpec.from_dict(data)
+
+
+def _spec_from_job_args(args: argparse.Namespace):
+    """The job subcommand's spec: ``--spec`` or the legacy-flag shim."""
+    from repro.scenario import ScenarioSpec
+
+    if args.spec is not None:
+        spec = _load_spec(args.spec)
+    else:
+        warm_fraction = args.warm_fraction
+        # Warm mixes only exist under the multi-rank engine, so a bare
+        # --warm-fraction selects it rather than crashing on the
+        # analytic default.
+        engine = args.engine or (
+            "multirank" if warm_fraction is not None else "analytic"
+        )
+        spec = ScenarioSpec(
+            config=_config_from_args(args),
+            engine=engine,
+            n_tasks=args.tasks,
+            cores_per_node=args.cores_per_node,
+            warm_file_cache=args.warm,
+            warm_fraction=warm_fraction or 0.0,
+            distribution=_distribution_from_args(args),
+        )
+    if args.overrides:
+        spec = _apply_overrides(spec, args.overrides)
+    return spec
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -162,13 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help=(
             "disk-backed sweep cache for experiments that take one "
-            "(mitigation): large grid cells replay across processes "
-            "instead of re-simulating"
+            "(mitigation, mitigation_scaled): large grid cells replay "
+            "across processes instead of re-simulating"
+        ),
+    )
+    run_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "scale experiments that support it down to seconds (the CI "
+            "registry sweep mode)"
         ),
     )
     job_parser = sub.add_parser(
         "job", help="simulate one N-task Pynamic job and print its report"
     )
+    _add_spec_arguments(job_parser)
     _add_config_arguments(job_parser)
     _add_engine_arguments(job_parser)
     job_parser.add_argument("--tasks", type=int, default=8, help="MPI tasks")
@@ -178,6 +323,35 @@ def build_parser() -> argparse.ArgumentParser:
     job_parser.add_argument(
         "--warm", action="store_true", help="start with warm buffer caches"
     )
+    spec_parser = sub.add_parser(
+        "spec", help="show, validate or describe ScenarioSpec documents"
+    )
+    spec_sub = spec_parser.add_subparsers(dest="spec_command", required=True)
+    show_parser = spec_sub.add_parser(
+        "show",
+        help=(
+            "print a spec (preset name or JSON file) as canonical JSON; "
+            "the spec hash goes to stderr"
+        ),
+    )
+    show_parser.add_argument(
+        "source", help="preset name or path to a spec JSON file"
+    )
+    show_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="overrides",
+        help="override fields by dotted path before printing",
+    )
+    validate_parser = spec_sub.add_parser(
+        "validate",
+        help="validate a spec JSON file against the published schema",
+    )
+    validate_parser.add_argument("source", help="path to a spec JSON file")
+    spec_sub.add_parser("schema", help="print the published JSON schema")
+    spec_sub.add_parser("presets", help="list registered scenario presets")
     generate_parser = sub.add_parser(
         "generate", help="emit a benchmark source tree (C files + driver)"
     )
@@ -215,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
                 chunk_bytes=args.chunk_bytes,
                 warm_fraction=args.warm_fraction,
                 cache_dir=args.cache_dir,
+                smoke=True if args.smoke else None,
             )
             collected[name] = result
             print(result.render())
@@ -229,26 +404,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.json}")
         return 0
     if args.command == "job":
-        from repro.core.job import PynamicJob
+        from repro.scenario import simulate
 
-        scenario = None
-        if args.warm_fraction is not None:
-            from repro.core.multirank import JobScenario
-
-            scenario = JobScenario(warm_node_fraction=args.warm_fraction)
-        # Warm mixes only exist under the multi-rank engine, so a bare
-        # --warm-fraction selects it rather than crashing on the
-        # analytic default.
-        default_engine = "multirank" if scenario is not None else "analytic"
-        report = PynamicJob(
-            config=_config_from_args(args),
-            n_tasks=args.tasks,
-            cores_per_node=args.cores_per_node,
-            warm_file_cache=args.warm,
-            engine=args.engine or default_engine,
-            scenario=scenario,
-            distribution=_distribution_from_args(args),
-        ).run()
+        spec = _spec_from_job_args(args)
+        print(f"spec {spec.spec_hash[:16]}", file=sys.stderr)
+        report = simulate(spec)
         print(
             f"{report.engine} job: {report.n_tasks} tasks on "
             f"{report.n_nodes} nodes, "
@@ -273,6 +433,49 @@ def main(argv: list[str] | None = None) -> int:
                 f"  skew {report.staging_skew_s:.4f}s"
             )
         return 0
+    if args.command == "spec":
+        from repro.scenario import (
+            SCENARIO_JSON_SCHEMA,
+            ScenarioSpec,
+            scenario_preset_names,
+            validate_spec_dict,
+        )
+
+        if args.spec_command == "show":
+            # Same clean-error contract as `spec validate`: a bad
+            # name/file/override prints one line, not a traceback.
+            try:
+                spec = _load_spec(args.source)
+                if args.overrides:
+                    spec = _apply_overrides(spec, args.overrides)
+            except ConfigError as exc:
+                print(f"{exc}", file=sys.stderr)
+                return 1
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            print(f"spec_hash {spec.spec_hash}", file=sys.stderr)
+            return 0
+        if args.spec_command == "validate":
+            try:
+                with open(args.source, encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"{args.source}: {exc}", file=sys.stderr)
+                return 1
+            try:
+                validate_spec_dict(data)
+                spec = ScenarioSpec.from_dict(data)
+            except ConfigError as exc:
+                print(f"{args.source}: {exc}", file=sys.stderr)
+                return 1
+            print(f"{args.source}: valid (spec_hash {spec.spec_hash})")
+            return 0
+        if args.spec_command == "schema":
+            print(json.dumps(SCENARIO_JSON_SCHEMA, indent=2, sort_keys=True))
+            return 0
+        if args.spec_command == "presets":
+            for name in scenario_preset_names():
+                print(name)
+            return 0
     if args.command == "generate":
         from repro.codegen.fileset import write_benchmark_tree
         from repro.core.generator import generate

@@ -32,10 +32,15 @@ def simulated_event_cost(breakpoints: int, aix: bool) -> float:
 @register("costmodel")
 def run() -> ExperimentResult:
     """Regenerate the 83-minute example and the M/N sweep."""
+    from repro.scenario.presets import scenario_preset
+
     result = ExperimentResult(
         name="Tool update cost model M x N x (T1 + B x T2)",
         paper_reference="Section II.B.3",
     )
+    # The closed form has no job to run; the spec block records the
+    # Table IV workload the model's constants are calibrated against.
+    result.declare_scenario(scenario_preset("table4"))
     example = paper_example()
     result.metrics.update(example)
     result.add_table(

@@ -31,6 +31,18 @@ class ExperimentResult:
     notes: list[str] = field(default_factory=list)
     #: Raw numbers for benchmark assertions (ratios, orderings).
     metrics: dict[str, float] = field(default_factory=dict)
+    #: The experiment's grid as serialized :class:`ScenarioSpec`s — the
+    #: declarative record of *what was parameterized*, emitted in the
+    #: ``--json`` payload and validated against the published schema by
+    #: the tier-1 registry smoke.
+    scenarios: list[dict] = field(default_factory=list)
+
+    def declare_scenario(self, *specs: object) -> None:
+        """Record the :class:`ScenarioSpec`(s) this experiment ran."""
+        for spec in specs:
+            data = spec.to_dict()  # type: ignore[attr-defined]
+            if data not in self.scenarios:
+                self.scenarios.append(data)
 
     def add_table(
         self,
@@ -65,6 +77,7 @@ class ExperimentResult:
             ],
             "metrics": dict(self.metrics),
             "notes": list(self.notes),
+            "scenarios": [dict(scenario) for scenario in self.scenarios],
         }
 
 
@@ -91,6 +104,7 @@ def _import_experiments() -> None:
         costmodel_exp,
         job_scaling,
         mitigation,
+        mitigation_scaled,
         scaling,
         staging_exp,
         table1,
@@ -108,7 +122,11 @@ def run_experiment(name: str, **overrides: object) -> ExperimentResult:
     experiment factory — but only the keywords its signature declares;
     the rest are dropped with a warning so one override set fits every
     experiment without misattributing results.  ``None`` values are
-    treated as "not specified".
+    treated as "not specified".  ``smoke=True`` is a harness-level knob
+    (scale the workload down to seconds for CI registry sweeps): it is
+    forwarded to factories that declare it and dropped *silently*
+    elsewhere — experiments that are already seconds-fast simply have
+    no smoke mode.
     """
     _import_experiments()
     try:
@@ -125,7 +143,7 @@ def run_experiment(name: str, **overrides: object) -> ExperimentResult:
             continue
         if key in accepted:
             kwargs[key] = value
-        else:
+        elif key != "smoke":
             dropped.append(key)
     if dropped:
         warnings.warn(

@@ -4,8 +4,9 @@ Two engines regenerate this experiment.  The analytic fast path charges
 rank 0 with the closed-form shared-resource costs (the original Table
 reproduction); the multi-rank discrete-event engine simulates every rank
 and reports the inter-rank skew distribution the analytic path cannot
-express.  Both grids fan out across worker processes via the sweep
-runner.
+express.  Both grids are declared as :class:`ScenarioSpec`s and fan out
+across worker processes via the scenario sweep, so their cells are
+cached under canonical spec hashes.
 """
 
 from __future__ import annotations
@@ -13,18 +14,19 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.core import presets
-from repro.core.builds import BuildMode
 from repro.errors import ConfigError
 from repro.harness.experiments import ExperimentResult, register
-from repro.harness.sweep import sweep_job_reports
+from repro.harness.sweep import sweep_scenarios
+from repro.scenario.spec import ScenarioSpec
 
 
 @register("job_scaling")
-def run(engine: str | None = None) -> ExperimentResult:
+def run(engine: str | None = None, smoke: bool = False) -> ExperimentResult:
     """Cold job import time vs. task count (Sections II, V).
 
     ``engine`` restricts the study to one engine's table (``"analytic"``
-    or ``"multirank"``); the default regenerates both.
+    or ``"multirank"``); the default regenerates both.  ``smoke``
+    shrinks both grids to seconds for CI registry sweeps.
     """
     if engine not in (None, "analytic", "multirank"):
         raise ConfigError(
@@ -38,8 +40,12 @@ def run(engine: str | None = None) -> ExperimentResult:
         presets.tiny(), n_modules=8, n_utilities=6, avg_functions=30
     )
     if engine in (None, "analytic"):
-        task_counts = [8, 64, 256]
-        reports = sweep_job_reports(config, task_counts, mode=BuildMode.VANILLA)
+        task_counts = [4, 8] if smoke else [8, 64, 256]
+        specs = [
+            ScenarioSpec(config=config, n_tasks=n) for n in task_counts
+        ]
+        result.declare_scenario(*specs)
+        reports = dict(zip(task_counts, sweep_scenarios(specs)))
         rows = []
         for n_tasks in task_counts:
             report = reports[n_tasks]
@@ -57,19 +63,23 @@ def run(engine: str | None = None) -> ExperimentResult:
             ["tasks", "nodes", "startup(s)", "import(s)", "MPI test(s)"],
             rows,
         )
-        result.metrics["import_growth_8_to_256"] = (
-            reports[256].import_s / reports[8].import_s
+        biggest, smallest = task_counts[-1], task_counts[0]
+        result.metrics[f"import_growth_{smallest}_to_{biggest}"] = (
+            reports[biggest].import_s / reports[smallest].import_s
         )
-        result.metrics["mpi_growth_8_to_256"] = (
-            reports[256].mpi_s / max(1e-12, reports[8].mpi_s)
+        result.metrics[f"mpi_growth_{smallest}_to_{biggest}"] = (
+            reports[biggest].mpi_s / max(1e-12, reports[smallest].mpi_s)
         )
     if engine in (None, "multirank"):
         # The discrete-event engine: skew emerges from the NFS server's
         # timed queue (kept to 64 ranks to bound runtime).
-        multi_counts = [8, 32, 64]
-        multi = sweep_job_reports(
-            config, multi_counts, mode=BuildMode.VANILLA, engine="multirank"
-        )
+        multi_counts = [4, 8] if smoke else [8, 32, 64]
+        multi_specs = [
+            ScenarioSpec(config=config, engine="multirank", n_tasks=n)
+            for n in multi_counts
+        ]
+        result.declare_scenario(*multi_specs)
+        multi = dict(zip(multi_counts, sweep_scenarios(multi_specs)))
         skew_rows = []
         for n_tasks in multi_counts:
             report = multi[n_tasks]
@@ -88,11 +98,12 @@ def run(engine: str | None = None) -> ExperimentResult:
             ["tasks", "nodes", "p50(s)", "p95(s)", "max(s)", "skew(s)"],
             skew_rows,
         )
-        result.metrics["skew_p95_over_p50_at_64"] = (
-            multi[64].import_p95 / max(1e-12, multi[64].import_p50)
+        biggest, smallest = multi_counts[-1], multi_counts[0]
+        result.metrics[f"skew_p95_over_p50_at_{biggest}"] = (
+            multi[biggest].import_p95 / max(1e-12, multi[biggest].import_p50)
         )
-        result.metrics["multirank_import_growth_8_to_64"] = (
-            multi[64].import_max / max(1e-12, multi[8].import_max)
+        result.metrics[f"multirank_import_growth_{smallest}_to_{biggest}"] = (
+            multi[biggest].import_max / max(1e-12, multi[smallest].import_max)
         )
     result.notes.append(
         "every node pages the DLLs in from the same NFS server: cold "

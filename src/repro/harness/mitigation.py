@@ -47,12 +47,16 @@ from repro.fs.nfs import NFSServer
 from repro.errors import ConfigError
 from repro.fs.staging import StagingStrategy, staging_seconds
 from repro.harness.experiments import ExperimentResult, register
-from repro.harness.sweep import SweepRunner, sweep_job_reports
+from repro.harness.sweep import SweepRunner, sweep_scenarios
 from repro.machine.cluster import Cluster
 from repro.rng import SeededRng
+from repro.scenario.spec import ScenarioSpec
 
 #: Default node counts — the acceptance bar is >= 256 under multirank.
 DEFAULT_NODE_COUNTS = (16, 64, 256)
+
+#: Seconds-fast counts for the tier-1 registry smoke.
+SMOKE_NODE_COUNTS = (4, 8)
 
 #: Default relay granularity of the cut-through strategy (64 KiB — a few
 #: chunks per DLL of the study's image set).
@@ -136,6 +140,7 @@ def run(
     chunk_bytes: "int | None" = None,
     warm_fraction: "float | None" = None,
     cache_dir: "str | None" = None,
+    smoke: bool = False,
 ) -> ExperimentResult:
     """Cold startup by distribution strategy across node counts.
 
@@ -143,7 +148,8 @@ def run(
     ``warm_fraction`` adds a warm-mix staging table (cache-aware relays);
     ``cache_dir`` backs the sweep runner's memo with a disk cache so
     repeated large-cell studies (CI re-runs) replay instead of
-    re-simulating.
+    re-simulating; ``smoke`` shrinks the node axis to seconds for CI
+    registry sweeps.
     """
     if engine not in ("analytic", "multirank"):
         raise ConfigError(
@@ -153,7 +159,10 @@ def run(
         raise ConfigError(
             f"warm fraction must be in [0, 1], got {warm_fraction}"
         )
-    counts = list(node_counts) if node_counts else list(DEFAULT_NODE_COUNTS)
+    if node_counts:
+        counts = list(node_counts)
+    else:
+        counts = list(SMOKE_NODE_COUNTS if smoke else DEFAULT_NODE_COUNTS)
     chunk = chunk_bytes if chunk_bytes is not None else DEFAULT_CHUNK_BYTES
     config = presets.tiny()
     strategies = _strategies(distribution, chunk)
@@ -162,6 +171,7 @@ def run(
         paper_reference="Section II.B.2 / Section V (collective opening of DLLs)",
     )
     if engine == "analytic":
+        result.declare_scenario(ScenarioSpec(config=config))
         total_bytes, n_files = _dll_set_size()
         rows = []
         for nodes in counts:
@@ -183,21 +193,30 @@ def run(
         )
         return result
     # Multirank: one rank per node, cold caches, full job simulations.
-    # The shared default sweep runner memoizes grid points, so repeated
-    # studies in one process (the benchmark suite's timing re-run, a
-    # notebook) replay instead of re-simulating; ``cache_dir`` extends
-    # the memo to disk so fresh processes replay too.
+    # The grid is declared as ScenarioSpecs — one per (strategy, node
+    # count) — and dispatched through the scenario sweep, whose cache
+    # keys on the canonical spec hash: repeated studies in one process
+    # replay from the memo, and ``cache_dir`` extends it to disk so
+    # fresh processes (CI re-runs) replay too.
     runner = SweepRunner(cache_dir=cache_dir) if cache_dir else None
-    reports = {
-        label: sweep_job_reports(
-            config,
-            counts,
-            engine="multirank",
-            cores_per_node=1,
-            distribution=spec,
-            runner=runner,
-        )
+    grid = {
+        label: [
+            ScenarioSpec(
+                config=config,
+                engine="multirank",
+                n_tasks=nodes,
+                cores_per_node=1,
+                distribution=spec,
+            )
+            for nodes in counts
+        ]
         for label, spec in strategies.items()
+    }
+    for specs in grid.values():
+        result.declare_scenario(*specs)
+    reports = {
+        label: dict(zip(counts, sweep_scenarios(specs, runner=runner)))
+        for label, specs in grid.items()
     }
     rows = []
     for nodes in counts:

@@ -17,6 +17,18 @@ from repro.fs.nfs import NFSServer
 from repro.fs.parallelfs import ParallelFileSystem
 from repro.harness.experiments import ExperimentResult, register
 from repro.harness.sweep import sweep_mode_reports
+from repro.scenario.spec import ScenarioSpec
+
+
+def _declare_mode_grid(result: ExperimentResult, configs) -> None:
+    """Declare a warm all-modes grid as one spec per (config, mode)."""
+    result.declare_scenario(
+        *(
+            ScenarioSpec(config=config, mode=mode, warm_file_cache=True)
+            for config in configs
+            for mode in BuildMode
+        )
+    )
 
 
 def _ratio_from(config, reports) -> dict[str, float]:
@@ -32,21 +44,25 @@ def _ratio_from(config, reports) -> dict[str, float]:
 
 
 @register("scaling_dlls")
-def run_dll_scaling() -> ExperimentResult:
+def run_dll_scaling(smoke: bool = False) -> ExperimentResult:
     """S1: the lazy-binding visit penalty vs. the number of DLLs."""
     result = ExperimentResult(
         name="Visit slow-down vs. DLL count",
         paper_reference="Section V (future work)",
     )
     base = presets.table1_config()
+    if smoke:
+        base = replace(base, avg_functions=40)
+    factors = (0.2, 0.4) if smoke else (0.3, 0.6, 1.0)
     configs = [
         replace(
             base,
             n_modules=max(2, round(base.n_modules * factor)),
             n_utilities=max(1, round(base.n_utilities * factor)),
         )
-        for factor in (0.3, 0.6, 1.0)
+        for factor in factors
     ]
+    _declare_mode_grid(result, configs)
     rows = []
     points = []
     for config, reports in zip(configs, sweep_mode_reports(configs)):
@@ -78,18 +94,25 @@ def run_dll_scaling() -> ExperimentResult:
 
 
 @register("scaling_dll_size")
-def run_dll_size_scaling() -> ExperimentResult:
+def run_dll_size_scaling(smoke: bool = False) -> ExperimentResult:
     """S2: sensitivity to DLL size (functions per module)."""
     result = ExperimentResult(
         name="Import/visit cost vs. DLL size",
         paper_reference="Section V (future work)",
     )
     base = presets.table1_config()
+    if smoke:
+        base = replace(
+            base,
+            n_modules=max(2, base.n_modules // 3),
+            n_utilities=max(1, base.n_utilities // 3),
+        )
     rows = []
     first_import = None
     last_import = None
-    sizes = (50, 100, 200)
+    sizes = (25, 50) if smoke else (50, 100, 200)
     configs = [replace(base, avg_functions=avg_functions) for avg_functions in sizes]
+    _declare_mode_grid(result, configs)
     for avg_functions, reports in zip(sizes, sweep_mode_reports(configs)):
         vanilla = reports[BuildMode.VANILLA]
         link = reports[BuildMode.LINKED]
@@ -130,6 +153,7 @@ def run_nfs_scaling() -> ExperimentResult:
     from repro.codegen.sizes import analytic_totals
 
     config = presets.llnl_multiphysics()
+    result.declare_scenario(ScenarioSpec(config=config))
     totals = analytic_totals(config)
     per_node_bytes = totals.text + totals.data  # mapped at startup
     rows = []

@@ -16,6 +16,9 @@ def run() -> ExperimentResult:
         paper_reference="Section II.B.2 / Section V (collective opening of DLLs)",
     )
     config = presets.llnl_multiphysics()
+    from repro.scenario.spec import ScenarioSpec
+
+    result.declare_scenario(ScenarioSpec(config=config))
     totals = analytic_totals(config)
     staged_bytes = totals.text + totals.data
     n_files = config.n_libraries

@@ -21,7 +21,11 @@ reduced to report dataclasses (never clusters or linkers).
 
 With ``SweepRunner(cache_dir=...)`` results also persist on disk keyed
 by a hash of the grid point, so repeated studies — and CI re-runs —
-skip recomputation across processes.
+skip recomputation across processes.  Scenario grids
+(:func:`sweep_scenarios`, and :func:`sweep_job_reports` which
+normalizes its legacy kwargs into specs) key on the *canonical spec
+hash* (:attr:`ScenarioSpec.spec_hash`), so the same grid point hits the
+cache no matter which API spelled it.
 """
 
 from __future__ import annotations
@@ -78,6 +82,15 @@ def _eval_mode_point(point: tuple) -> dict[BuildMode, DriverReport]:
     config, warm = point
     results = run_all_modes(config, warm_file_cache=warm)
     return {mode: result.report for mode, result in results.items()}
+
+
+def _eval_scenario_point(point: "object") -> JobReport:
+    """Evaluate one :class:`ScenarioSpec` grid point (top-level for
+    pickling; the cache key is the spec's canonical hash, not this
+    function's argument repr)."""
+    from repro.scenario.run import simulate
+
+    return simulate(point)
 
 
 class SweepRunner:
@@ -153,17 +166,33 @@ class SweepRunner:
             return min(self.workers, max(1, n_points))
         return max(1, min(os.cpu_count() or 1, n_points, MAX_WORKERS))
 
-    def map(self, func: Callable[[tuple], object], points: Sequence[tuple]) -> list:
+    def map(
+        self,
+        func: Callable[[tuple], object],
+        points: Sequence[tuple],
+        keys: "Sequence[str] | None" = None,
+    ) -> list:
         """Evaluate ``func`` over ``points``, parallel and memoized.
 
         Results come back in point order.  ``func`` must be a top-level
         function and every point must be picklable.  With memoization
         on, duplicate points inside one call are simulated only once.
+
+        ``keys`` optionally supplies one stable memo key per point in
+        place of ``repr(point)`` — the scenario sweeps pass each spec's
+        canonical hash, so any two spellings of the same grid point
+        share a cache entry (in memory and on disk).
         """
+        if keys is not None and len(keys) != len(points):
+            raise ConfigError(
+                f"got {len(keys)} keys for {len(points)} points"
+            )
         if not self.memoize:
             self.misses += len(points)
             return self._evaluate(func, list(points))
-        keys = [(func.__name__, repr(point)) for point in points]
+        if keys is None:
+            keys = [repr(point) for point in points]
+        keys = [(func.__name__, key) for key in keys]
         results: dict[int, object] = {}
         compute: dict[tuple[str, str], int] = {}  # key -> first index
         for index, key in enumerate(keys):
@@ -214,6 +243,24 @@ class SweepRunner:
 DEFAULT_RUNNER = SweepRunner()
 
 
+def sweep_scenarios(
+    specs: "Sequence[object]",
+    runner: SweepRunner | None = None,
+) -> list[JobReport]:
+    """Evaluate a grid of :class:`ScenarioSpec`s, parallel and memoized.
+
+    The memo/disk key of each point is the spec's canonical sha256
+    (:attr:`ScenarioSpec.spec_hash`), so a grid point is one cache
+    entry no matter how it was spelled — legacy kwargs (via
+    :func:`sweep_job_reports`), the fluent builder, or a JSON file.
+    """
+    runner = runner or DEFAULT_RUNNER
+    specs = list(specs)
+    return runner.map(
+        _eval_scenario_point, specs, keys=[spec.spec_hash for spec in specs]
+    )
+
+
 def sweep_job_reports(
     config: PynamicConfig,
     task_counts: Sequence[int],
@@ -227,25 +274,54 @@ def sweep_job_reports(
     distribution: "object | None" = None,
     runner: SweepRunner | None = None,
 ) -> dict[int, JobReport]:
-    """Parallel, memoized equivalent of :func:`repro.core.job.job_size_sweep`."""
+    """Parallel, memoized equivalent of :func:`repro.core.job.job_size_sweep`.
+
+    This is the legacy-kwarg spelling of a scenario grid: points are
+    normalized to :class:`ScenarioSpec`s and dispatched through
+    :func:`sweep_scenarios`, so the cache keys on the canonical spec
+    hash and a later spec-spelled study replays these results.  Grid
+    points that have no declarative spelling (a custom OS profile, a
+    scenario subclass) fall back to ``repr``-keyed tuple points.
+    """
     runner = runner or DEFAULT_RUNNER
-    points = [
-        (
-            config,
-            n,
-            mode.value,
-            warm_file_cache,
-            engine,
-            cores_per_node,
-            scenario,
-            hash_style.value,
-            prelink,
-            distribution,
-        )
-        for n in task_counts
-    ]
-    reports = runner.map(_eval_job_point, points)
-    return dict(zip(task_counts, reports))
+    try:
+        from repro.scenario.spec import ScenarioSpec
+
+        specs = [
+            ScenarioSpec.from_job_kwargs(
+                config=config,
+                mode=mode,
+                n_tasks=n,
+                cores_per_node=cores_per_node,
+                warm_file_cache=warm_file_cache,
+                os_profile=None,
+                engine=engine,
+                scenario=scenario,
+                hash_style=hash_style,
+                prelink=prelink,
+                distribution=distribution,
+            )
+            for n in task_counts
+        ]
+    except ConfigError:
+        points = [
+            (
+                config,
+                n,
+                mode.value,
+                warm_file_cache,
+                engine,
+                cores_per_node,
+                scenario,
+                hash_style.value,
+                prelink,
+                distribution,
+            )
+            for n in task_counts
+        ]
+        reports = runner.map(_eval_job_point, points)
+        return dict(zip(task_counts, reports))
+    return dict(zip(task_counts, sweep_scenarios(specs, runner=runner)))
 
 
 def sweep_mode_reports(

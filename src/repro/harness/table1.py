@@ -15,6 +15,7 @@ lazy-binding visit blow-up, LD_BIND_NOW moving that cost into startup).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import lru_cache
 
 from repro.core import presets
@@ -22,6 +23,26 @@ from repro.core.builds import BuildMode
 from repro.core.config import PynamicConfig
 from repro.core.runner import RunResult, run_all_modes
 from repro.harness.experiments import ExperimentResult, register
+from repro.scenario.spec import ScenarioSpec
+
+
+def smoke_config() -> PynamicConfig:
+    """The shrunk Table I/II workload CI registry sweeps run."""
+    return replace(
+        presets.table1_config(), n_modules=10, n_utilities=8, avg_functions=40
+    )
+
+
+def declare_mode_scenarios(
+    result: ExperimentResult, config: PynamicConfig, warm: bool = True
+) -> None:
+    """Declare the three-build grid (shared by Tables I and II)."""
+    result.declare_scenario(
+        *(
+            ScenarioSpec(config=config, mode=mode, warm_file_cache=warm)
+            for mode in BuildMode
+        )
+    )
 
 #: The paper's Table I, seconds.
 PAPER_TABLE1: dict[str, dict[str, float]] = {
@@ -58,13 +79,15 @@ def table1_metrics(results: dict[BuildMode, RunResult]) -> dict[str, float]:
 
 
 @register("table1")
-def run() -> ExperimentResult:
+def run(smoke: bool = False) -> ExperimentResult:
     """Regenerate Table I (measured next to the paper's values)."""
-    results = link_mode_comparison()
+    config = smoke_config() if smoke else presets.table1_config()
+    results = link_mode_comparison(config)
     result = ExperimentResult(
         name="Pynamic results (three build modes)",
         paper_reference="Table I",
     )
+    declare_mode_scenarios(result, config)
     headers = [
         "version",
         "startup(s)",

@@ -15,10 +15,15 @@ bound builds visit with a quiet cache.
 
 from __future__ import annotations
 
+from repro.core import presets
 from repro.core.builds import BuildMode
 from repro.core.runner import RunResult
 from repro.harness.experiments import ExperimentResult, register
-from repro.harness.table1 import link_mode_comparison
+from repro.harness.table1 import (
+    declare_mode_scenarios,
+    link_mode_comparison,
+    smoke_config,
+)
 
 #: The paper's Table II, millions of misses.
 PAPER_TABLE2: dict[str, dict[str, float]] = {
@@ -69,13 +74,15 @@ def table2_metrics(results: dict[BuildMode, RunResult]) -> dict[str, float]:
 
 
 @register("table2")
-def run() -> ExperimentResult:
+def run(smoke: bool = False) -> ExperimentResult:
     """Regenerate Table II (measured counts next to the paper's)."""
-    results = link_mode_comparison()
+    config = smoke_config() if smoke else presets.table1_config()
+    results = link_mode_comparison(config)
     result = ExperimentResult(
         name="L1 data and instruction cache misses",
         paper_reference="Table II",
     )
+    declare_mode_scenarios(result, config)
     headers = [
         "version",
         "import L1-D",

@@ -64,12 +64,15 @@ def analytic_vs_exact_error(scale: float = 0.05) -> float:
 @register("table3")
 def run() -> ExperimentResult:
     """Regenerate Table III's Pynamic column analytically."""
+    from repro.scenario.spec import ScenarioSpec
+
     config = presets.llnl_multiphysics()
     model_mb = analytic_totals(config).as_mb()
     result = ExperimentResult(
         name="DLL section sizes: real application vs. Pynamic model",
         paper_reference="Table III",
     )
+    result.declare_scenario(ScenarioSpec(config=config))
     rows = []
     for section in ("Text", "Data", "Debug", "Symbol Table", "String Table", "total"):
         rows.append(

@@ -17,20 +17,28 @@ simulated nodes sharing one NFS server.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import lru_cache
 
 from repro.core import presets
 from repro.core.builds import BuildImage, BuildMode, build_benchmark
+from repro.core.config import PynamicConfig
 from repro.core.generator import generate
 from repro.core.multirank import JobScenario
 from repro.harness.experiments import ExperimentResult, register
 from repro.machine.cluster import Cluster
+from repro.scenario.spec import ScenarioSpec
 from repro.tools.debugger import (
     DebuggerStartup,
     MultirankDebuggerStartup,
     ParallelDebugger,
 )
 from repro.units import format_mmss, parse_mmss
+
+
+def _smoke_config() -> PynamicConfig:
+    """The shrunk Table IV workload CI registry sweeps run."""
+    return replace(presets.table4_config(), avg_functions=150)
 
 #: The paper's Table IV (seconds, parsed from mm:ss).
 PAPER_TABLE4: dict[str, dict[str, float]] = {
@@ -49,11 +57,13 @@ PAPER_TABLE4: dict[str, dict[str, float]] = {
 }
 
 
-@lru_cache(maxsize=1)
-def debugger_startup_pair(n_tasks: int = 32) -> tuple[DebuggerStartup, DebuggerStartup]:
+@lru_cache(maxsize=2)
+def debugger_startup_pair(
+    n_tasks: int = 32, config: PynamicConfig | None = None
+) -> tuple[DebuggerStartup, DebuggerStartup]:
     """Run the cold and warm debugger startups (cached for reuse)."""
     cluster = Cluster(n_nodes=4)
-    spec = generate(presets.table4_config())
+    spec = generate(config or presets.table4_config())
     build = build_benchmark(spec, cluster.nfs, BuildMode.LINKED)
     for image in build.images.values():
         cluster.file_store.add(image)
@@ -73,12 +83,17 @@ def table4_metrics(cold: DebuggerStartup, warm: DebuggerStartup) -> dict[str, fl
 
 
 @register("table4")
-def run() -> ExperimentResult:
+def run(smoke: bool = False) -> ExperimentResult:
     """Regenerate Table IV at 1/10 scale."""
-    cold, warm = debugger_startup_pair()
+    config = _smoke_config() if smoke else presets.table4_config()
+    n_tasks = 8 if smoke else 32
+    cold, warm = debugger_startup_pair(n_tasks, config)
     result = ExperimentResult(
         name="TotalView-style debugger startup, cold vs. warm",
         paper_reference="Table IV",
+    )
+    result.declare_scenario(
+        ScenarioSpec(config=config, mode=BuildMode.LINKED, n_tasks=n_tasks)
     )
     paper = PAPER_TABLE4["Pynamic"]
     rows = [
@@ -123,35 +138,39 @@ def run() -> ExperimentResult:
     return result
 
 
-@lru_cache(maxsize=1)
-def _table4_spec():
+@lru_cache(maxsize=2)
+def _table4_spec(config: PynamicConfig | None = None):
     """The 1/10-library-count benchmark spec (cached: generation is the
     expensive part of a full-scale debugger run)."""
-    return generate(presets.table4_config())
+    return generate(config or presets.table4_config())
 
 
-def _table4_build(n_nodes: int) -> tuple[Cluster, BuildImage]:
+def _table4_build(
+    n_nodes: int, config: PynamicConfig | None = None
+) -> tuple[Cluster, BuildImage]:
     """A fresh full-scale cluster + pre-linked build for the multirank
     study — the same workload the analytic Table IV reproduction uses."""
     cluster = Cluster(n_nodes=n_nodes)
-    build = build_benchmark(_table4_spec(), cluster.nfs, BuildMode.LINKED)
+    build = build_benchmark(_table4_spec(config), cluster.nfs, BuildMode.LINKED)
     for image in build.images.values():
         cluster.file_store.add(image)
     return cluster, build
 
 
 def debugger_multirank_rows(
-    n_tasks: int = 32, n_nodes: int = 4
+    n_tasks: int = 32,
+    n_nodes: int = 4,
+    config: PynamicConfig | None = None,
 ) -> dict[str, MultirankDebuggerStartup]:
     """Cold, warm and straggler multirank debugger startups at the
     paper's 32 tasks and 1/10 library count (the full Table IV scale)."""
     runs: dict[str, MultirankDebuggerStartup] = {}
-    cluster, build = _table4_build(n_nodes)
+    cluster, build = _table4_build(n_nodes, config)
     debugger = ParallelDebugger(cluster, n_tasks=n_tasks)
     runs["cold"] = debugger.startup_multirank(build, cold=True)
     runs["warm"] = debugger.startup_multirank(build, cold=False)
     straggled = JobScenario(straggler_nodes=(1,), straggler_slowdown=2.0)
-    cluster2, build2 = _table4_build(n_nodes)
+    cluster2, build2 = _table4_build(n_nodes, config)
     runs["cold+straggler"] = ParallelDebugger(
         cluster2, n_tasks=n_tasks
     ).startup_multirank(build2, cold=True, scenario=straggled)
@@ -159,13 +178,35 @@ def debugger_multirank_rows(
 
 
 @register("table4_multirank")
-def run_multirank() -> ExperimentResult:
+def run_multirank(smoke: bool = False) -> ExperimentResult:
     """Table IV on the multirank engine at full 32-task scale."""
-    runs = debugger_multirank_rows()
-    analytic_cold, analytic_warm = debugger_startup_pair()
+    config = _smoke_config() if smoke else presets.table4_config()
+    # The straggler cell throttles node 1, so even smoke keeps >= 2
+    # nodes' worth of tasks (8 cores per node).
+    n_tasks, n_nodes = (16, 2) if smoke else (32, 4)
+    runs = debugger_multirank_rows(n_tasks, n_nodes, config)
+    analytic_cold, analytic_warm = debugger_startup_pair(n_tasks, config)
     result = ExperimentResult(
         name="Multirank debugger startup: full-scale Table IV + per-daemon skew",
         paper_reference="Table IV (tool-startup problem, per-daemon view)",
+    )
+    result.declare_scenario(
+        ScenarioSpec(
+            config=config,
+            engine="multirank",
+            mode=BuildMode.LINKED,
+            n_tasks=n_tasks,
+            cores_per_node=-(-n_tasks // n_nodes),
+        ),
+        ScenarioSpec(
+            config=config,
+            engine="multirank",
+            mode=BuildMode.LINKED,
+            n_tasks=n_tasks,
+            cores_per_node=-(-n_tasks // n_nodes),
+            straggler_nodes=(1,),
+            straggler_slowdown=2.0,
+        ),
     )
     paper = PAPER_TABLE4["Pynamic"]
     comparison_rows = [

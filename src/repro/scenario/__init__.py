@@ -1,0 +1,41 @@
+"""The unified scenario API: one declarative spec drives everything.
+
+- :class:`ScenarioSpec` — frozen, validated, hashable parameterization
+  of a simulated measurement (machine + library set + engine + warm mix
+  + distribution + heterogeneity + seed), with
+  ``to_dict``/``from_dict`` round-tripping, a canonical JSON form and a
+  process-stable ``spec_hash``;
+- :class:`Scenario` — the fluent builder
+  (``Scenario.preset("llnl_multiphysics").nodes(1024).pipelined()``);
+- :mod:`repro.scenario.presets` — the named preset registry;
+- :data:`SCENARIO_JSON_SCHEMA` / :func:`validate_spec_dict` — the
+  published schema and its validator;
+- :func:`simulate` — the one entry point, ``simulate(spec) ->
+  JobReport``.
+"""
+
+from repro.scenario.builder import Scenario
+from repro.scenario.presets import (
+    SCENARIO_PRESETS,
+    register_scenario,
+    scenario_preset,
+    scenario_preset_names,
+)
+from repro.scenario.run import simulate
+from repro.scenario.schema import SCENARIO_JSON_SCHEMA, validate_spec_dict
+from repro.scenario.spec import ENGINES, OS_PROFILES, SPEC_VERSION, ScenarioSpec
+
+__all__ = [
+    "ENGINES",
+    "OS_PROFILES",
+    "SCENARIO_JSON_SCHEMA",
+    "SCENARIO_PRESETS",
+    "SPEC_VERSION",
+    "Scenario",
+    "ScenarioSpec",
+    "register_scenario",
+    "scenario_preset",
+    "scenario_preset_names",
+    "simulate",
+    "validate_spec_dict",
+]

@@ -1,0 +1,19 @@
+"""The one entry point: ``simulate(spec) -> JobReport``.
+
+Every layer consumes the same :class:`ScenarioSpec`; this module is the
+thin bridge from the declarative value to the engines.  It is a plain
+top-level function of one picklable argument, so the sweep runner can
+fan calls out across worker processes directly.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import ScenarioSpec
+
+
+def simulate(spec: ScenarioSpec) -> "object":
+    """Run one scenario with its declared engine; returns a
+    :class:`repro.core.job.JobReport`."""
+    from repro.core.job import PynamicJob
+
+    return PynamicJob.from_scenario(spec).run()

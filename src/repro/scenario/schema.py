@@ -1,0 +1,266 @@
+"""The published JSON schema for serialized :class:`ScenarioSpec`s.
+
+:data:`SCENARIO_JSON_SCHEMA` is a draft-07-style document describing
+exactly what :meth:`ScenarioSpec.to_dict` emits and
+:meth:`ScenarioSpec.from_dict` accepts; a golden test pins it so schema
+drift is an explicit, reviewed change.  :func:`validate_spec_dict` walks
+the schema itself (a small built-in interpreter for the keyword subset
+the schema uses), so the document *is* the validator — no external
+``jsonschema`` dependency, and no way for the two to disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.builds import BuildMode
+from repro.dist.topology import SOURCES, Topology
+from repro.elf.symbols import HashStyle
+from repro.errors import ConfigError
+from repro.scenario.spec import ENGINES, OS_PROFILES, SPEC_VERSION
+
+#: Keyword subset the built-in interpreter understands.
+_SUPPORTED_KEYWORDS = frozenset(
+    {
+        "$schema",
+        "title",
+        "description",
+        "type",
+        "enum",
+        "const",
+        "properties",
+        "required",
+        "additionalProperties",
+        "items",
+        "minimum",
+        "maximum",
+        "exclusiveMinimum",
+        "exclusiveMaximum",
+    }
+)
+
+# Enums are derived from the registries/enums they describe, so the
+# schema cannot drift from the code — only from the golden test.
+_OS_PROFILE_NAMES = sorted(OS_PROFILES)
+
+_NODE_ARRAY = {
+    "type": "array",
+    "items": {"type": "integer", "minimum": 0},
+}
+
+_SIZE_MODEL_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "properties": {
+        "text_bytes_per_instruction": {"type": "number", "exclusiveMinimum": 0},
+        "prologue_bytes": {"type": "integer", "minimum": 0},
+        "per_argument_bytes": {"type": "integer", "minimum": 0},
+        "per_call_bytes": {"type": "integer", "minimum": 0},
+        "alignment_bytes": {"type": "integer", "minimum": 1},
+        "entry_overhead_bytes": {"type": "integer", "minimum": 0},
+        "init_bytes": {"type": "integer", "minimum": 0},
+        "data_bytes_per_function": {"type": "integer", "minimum": 0},
+        "data_library_base": {"type": "integer", "minimum": 0},
+        "debug_bytes_per_function": {"type": "integer", "minimum": 0},
+        "debug_library_base": {"type": "integer", "minimum": 0},
+        "symtab_ratio": {"type": "number", "minimum": 1},
+    },
+}
+
+_CONFIG_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "properties": {
+        "n_modules": {"type": "integer", "minimum": 1},
+        "n_utilities": {"type": "integer", "minimum": 0},
+        "avg_functions": {"type": "integer", "minimum": 1},
+        "avg_utility_functions": {"type": ["integer", "null"], "minimum": 1},
+        "functions_spread": {
+            "type": "number",
+            "minimum": 0,
+            "exclusiveMaximum": 1,
+        },
+        "seed": {"type": "integer"},
+        "max_depth": {"type": "integer", "minimum": 1},
+        "enable_cross_module": {"type": "boolean"},
+        "cross_module_probability": {"type": "number", "minimum": 0, "maximum": 1},
+        "utility_call_probability": {"type": "number", "minimum": 0, "maximum": 1},
+        "libc_call_probability": {"type": "number", "minimum": 0, "maximum": 1},
+        "avg_body_instructions": {"type": "integer", "minimum": 1},
+        "memory_bytes_per_function": {"type": "integer", "minimum": 0},
+        "body_spread": {"type": "number", "minimum": 0, "exclusiveMaximum": 1},
+        "name_length": {"type": "integer", "minimum": 0},
+        "coverage": {"type": "number", "exclusiveMinimum": 0, "maximum": 1},
+        "mpi_test": {"type": "boolean"},
+        "size_model": _SIZE_MODEL_SCHEMA,
+    },
+}
+
+_SCENARIO_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "properties": {
+        "straggler_nodes": _NODE_ARRAY,
+        "straggler_slowdown": {"type": "number", "minimum": 1},
+        "os_jitter_s": {"type": "number", "minimum": 0},
+        "warm_fraction": {"type": "number", "minimum": 0, "maximum": 1},
+        "warm_nodes": _NODE_ARRAY,
+        "node_os_profiles": {
+            "type": "object",
+            "additionalProperties": {"type": "string", "enum": _OS_PROFILE_NAMES},
+        },
+    },
+}
+
+_DISTRIBUTION_SCHEMA = {
+    "type": ["object", "null"],
+    "additionalProperties": False,
+    "properties": {
+        "topology": {
+            "type": "string",
+            "enum": [member.value for member in Topology],
+        },
+        "fanout": {"type": "integer", "minimum": 1},
+        "source": {"type": "string", "enum": list(SOURCES)},
+        "relay_bandwidth_share": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+        "pipelined": {"type": "boolean"},
+        "chunk_bytes": {"type": ["integer", "null"], "minimum": 1},
+        "daemon_spawn_s": {"type": "number", "minimum": 0},
+        "straggler_relay_nodes": _NODE_ARRAY,
+        "straggler_relay_slowdown": {"type": "number", "minimum": 1},
+    },
+}
+
+#: The published schema for a serialized ScenarioSpec (version 1).
+SCENARIO_JSON_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "ScenarioSpec",
+    "description": (
+        "One declarative parameterization of a simulated Pynamic "
+        "measurement: machine + library set + engine + warm mix + "
+        "distribution overlay + heterogeneity + seed."
+    ),
+    "type": "object",
+    "additionalProperties": False,
+    "required": ["version", "engine", "config"],
+    "properties": {
+        "version": {"const": SPEC_VERSION},
+        "engine": {"type": "string", "enum": list(ENGINES)},
+        "mode": {
+            "type": "string",
+            "enum": [member.value for member in BuildMode],
+        },
+        "n_tasks": {"type": "integer", "minimum": 1},
+        "cores_per_node": {"type": "integer", "minimum": 1},
+        "warm_file_cache": {"type": "boolean"},
+        "os_profile": {"type": "string", "enum": _OS_PROFILE_NAMES},
+        "hash_style": {
+            "type": "string",
+            "enum": [member.value for member in HashStyle],
+        },
+        "prelink": {"type": "boolean"},
+        "config": _CONFIG_SCHEMA,
+        "scenario": _SCENARIO_SCHEMA,
+        "distribution": _DISTRIBUTION_SCHEMA,
+    },
+}
+
+
+def _type_matches(value: object, type_name: str) -> bool:
+    if type_name == "object":
+        return isinstance(value, Mapping)
+    if type_name == "array":
+        return isinstance(value, (list, tuple))
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "null":
+        return value is None
+    raise ConfigError(f"schema bug: unknown type keyword {type_name!r}")
+
+
+def _validate(value: object, schema: Mapping, path: str) -> None:
+    for keyword in schema:
+        if keyword not in _SUPPORTED_KEYWORDS:
+            raise ConfigError(
+                f"schema bug: unsupported keyword {keyword!r} at {path}"
+            )
+    if "const" in schema and value != schema["const"]:
+        raise ConfigError(
+            f"{path}: expected {schema['const']!r}, got {value!r}"
+        )
+    if "type" in schema:
+        names = schema["type"]
+        if isinstance(names, str):
+            names = [names]
+        if not any(_type_matches(value, name) for name in names):
+            raise ConfigError(
+                f"{path}: expected {'/'.join(names)}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+    if value is None:
+        return  # nullable fields carry no further constraints
+    if "enum" in schema and value not in schema["enum"]:
+        raise ConfigError(
+            f"{path}: {value!r} is not one of {schema['enum']}"
+        )
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            raise ConfigError(
+                f"{path}: {value!r} is below the minimum {schema['minimum']}"
+            )
+        if "maximum" in schema and value > schema["maximum"]:
+            raise ConfigError(
+                f"{path}: {value!r} is above the maximum {schema['maximum']}"
+            )
+        if "exclusiveMinimum" in schema and value <= schema["exclusiveMinimum"]:
+            raise ConfigError(
+                f"{path}: {value!r} must be greater than "
+                f"{schema['exclusiveMinimum']}"
+            )
+        if "exclusiveMaximum" in schema and value >= schema["exclusiveMaximum"]:
+            raise ConfigError(
+                f"{path}: {value!r} must be less than "
+                f"{schema['exclusiveMaximum']}"
+            )
+    if isinstance(value, (list, tuple)) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{index}]")
+    if isinstance(value, Mapping):
+        properties = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise ConfigError(f"{path}: missing required field {key!r}")
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                _validate(item, properties[key], f"{path}.{key}")
+            elif additional is False:
+                raise ConfigError(
+                    f"{path}: unknown field {key!r}; known fields: "
+                    f"{sorted(properties)}"
+                )
+            elif isinstance(additional, Mapping):
+                _validate(item, additional, f"{path}.{key}")
+
+
+def validate_spec_dict(data: object) -> None:
+    """Validate a spec document against :data:`SCENARIO_JSON_SCHEMA`.
+
+    Raises :class:`repro.errors.ConfigError` with a JSON-path message on
+    the first violation; returns None when the document conforms.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"spec: expected a JSON object, got {type(data).__name__}"
+        )
+    _validate(data, SCENARIO_JSON_SCHEMA, "spec")

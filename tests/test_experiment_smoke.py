@@ -1,0 +1,70 @@
+"""Tier-1 registry smoke: every experiment runs and declares its grid.
+
+Iterates the full experiment ``REGISTRY`` in smoke mode, renders each
+result the way ``--json`` does, and validates the emitted ``scenarios``
+block against the published ScenarioSpec schema — so an experiment that
+is unregistered, declares no grid, or drifts from the schema fails CI
+here rather than in a downstream consumer of the JSON payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.experiments import all_experiment_names, run_experiment
+from repro.scenario import ScenarioSpec, validate_spec_dict
+
+#: Experiments that must exist — a registration that goes missing (a
+#: renamed module, a dropped import) fails here explicitly.
+EXPECTED_EXPERIMENTS = (
+    "ablation_body_memory",
+    "ablation_coverage",
+    "ablation_hash_style",
+    "ablation_name_length",
+    "ablation_prelink",
+    "ablation_randomization",
+    "costmodel",
+    "job_scaling",
+    "mitigation",
+    "mitigation_scaled",
+    "scaling_dll_size",
+    "scaling_dlls",
+    "scaling_nfs",
+    "staging_strategies",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table4_multirank",
+)
+
+
+def test_expected_experiments_are_registered():
+    names = all_experiment_names()
+    missing = [name for name in EXPECTED_EXPERIMENTS if name not in names]
+    assert not missing, f"unregistered experiments: {missing}"
+
+
+@pytest.mark.parametrize("name", EXPECTED_EXPERIMENTS)
+def test_experiment_smoke_emits_schema_valid_spec_block(name):
+    result = run_experiment(name, smoke=True)
+    payload = result.to_json_dict()
+    assert payload["tables"] or payload["metrics"], f"{name}: empty result"
+    scenarios = payload["scenarios"]
+    assert scenarios, f"{name}: declares no ScenarioSpec grid"
+    for scenario in scenarios:
+        validate_spec_dict(scenario)
+        # The block must also round-trip into a live spec (the schema
+        # alone cannot check cross-field rules like node ranges).
+        ScenarioSpec.from_dict(scenario)
+
+
+def test_cli_smoke_json_payload_carries_spec_block(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["run", "job_scaling", "--smoke", "--json", str(out)]) == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    scenarios = payload["job_scaling"]["scenarios"]
+    assert scenarios
+    for scenario in scenarios:
+        validate_spec_dict(scenario)

@@ -1,0 +1,200 @@
+"""Property-based guarantees of the scenario API.
+
+- hypothesis round-trip: ``from_dict(to_dict(spec))`` preserves
+  equality, Python hash and canonical hash for arbitrary valid specs,
+  and every emitted document conforms to the published schema;
+- golden schema: the JSON schema is pinned byte-for-byte, so drift is
+  an explicit, reviewed change;
+- cross-process stability: the canonical sha256 is computed in a fresh
+  interpreter and must match (Python's salted ``hash()`` would not).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builds import BuildMode
+from repro.core.config import PynamicConfig
+from repro.dist.topology import DistributionSpec, Topology
+from repro.elf.symbols import HashStyle
+from repro.scenario import (
+    SCENARIO_JSON_SCHEMA,
+    OS_PROFILES,
+    Scenario,
+    ScenarioSpec,
+    scenario_preset,
+    validate_spec_dict,
+)
+
+_settings = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+    derandomize=True,
+)
+
+_configs = st.builds(
+    PynamicConfig,
+    n_modules=st.integers(1, 8),
+    n_utilities=st.integers(0, 6),
+    avg_functions=st.integers(1, 30),
+    seed=st.integers(0, 2**31 - 1),
+    name_length=st.integers(0, 64),
+    max_depth=st.integers(1, 12),
+    coverage=st.floats(0.05, 1.0, allow_nan=False),
+    functions_spread=st.floats(0.0, 0.9, exclude_max=True, allow_nan=False),
+    mpi_test=st.booleans(),
+    enable_cross_module=st.booleans(),
+)
+
+_distributions = st.one_of(
+    st.none(),
+    st.builds(
+        DistributionSpec,
+        topology=st.sampled_from(Topology),
+        fanout=st.integers(1, 4),
+        source=st.sampled_from(["nfs", "pfs"]),
+        pipelined=st.booleans(),
+        chunk_bytes=st.one_of(st.none(), st.integers(1, 1 << 22)),
+        relay_bandwidth_share=st.floats(
+            0.05, 1.0, exclude_min=True, allow_nan=False
+        ),
+        daemon_spawn_s=st.floats(0.0, 0.5, allow_nan=False),
+    ),
+)
+
+_profile_names = st.sampled_from(sorted(OS_PROFILES))
+
+
+@st.composite
+def _specs(draw):
+    engine = draw(st.sampled_from(["analytic", "multirank"]))
+    n_tasks = draw(st.integers(1, 64))
+    cores_per_node = draw(st.integers(1, 8))
+    n_nodes = max(1, -(-n_tasks // cores_per_node))
+    node_indices = st.integers(0, n_nodes - 1)
+    extra = {}
+    if engine == "multirank":
+        extra = dict(
+            straggler_nodes=tuple(
+                draw(st.lists(node_indices, max_size=min(3, n_nodes)))
+            ),
+            straggler_slowdown=draw(st.floats(1.0, 4.0, allow_nan=False)),
+            os_jitter_s=draw(st.floats(0.0, 0.2, allow_nan=False)),
+            warm_fraction=draw(st.floats(0.0, 1.0, allow_nan=False)),
+            warm_nodes=tuple(
+                draw(st.lists(node_indices, max_size=min(3, n_nodes)))
+            ),
+            node_os_profiles=tuple(
+                draw(
+                    st.dictionaries(
+                        node_indices, _profile_names, max_size=min(3, n_nodes)
+                    )
+                ).items()
+            ),
+            distribution=draw(_distributions),
+        )
+    return ScenarioSpec(
+        config=draw(_configs),
+        engine=engine,
+        mode=draw(st.sampled_from(BuildMode)),
+        n_tasks=n_tasks,
+        cores_per_node=cores_per_node,
+        warm_file_cache=draw(st.booleans()),
+        os_profile=draw(_profile_names),
+        hash_style=draw(st.sampled_from(HashStyle)),
+        prelink=draw(st.booleans()),
+        **extra,
+    )
+
+
+@_settings
+@given(_specs())
+def test_round_trip_preserves_equality_and_hashes(spec):
+    data = spec.to_dict()
+    again = ScenarioSpec.from_dict(data)
+    assert again == spec
+    assert hash(again) == hash(spec)
+    assert again.spec_hash == spec.spec_hash
+
+
+@_settings
+@given(_specs())
+def test_every_emitted_document_conforms_to_the_schema(spec):
+    validate_spec_dict(spec.to_dict())
+
+
+@_settings
+@given(_specs())
+def test_canonical_json_survives_a_json_round_trip(spec):
+    text = spec.canonical_json()
+    again = ScenarioSpec.from_dict(json.loads(text))
+    assert again.canonical_json() == text
+
+
+@_settings
+@given(_specs())
+def test_to_dict_is_pure(spec):
+    assert spec.to_dict() == spec.to_dict()
+    assert spec.spec_hash == spec.spec_hash
+
+
+def test_schema_stays_in_sync_with_the_dataclasses():
+    """The hand-written schema blocks must cover exactly the dataclass
+    fields they describe — adding a field to DistributionSpec or
+    PynamicConfig without teaching the schema fails here, not in a
+    downstream consumer."""
+    from dataclasses import fields
+
+    properties = SCENARIO_JSON_SCHEMA["properties"]
+    assert set(properties["distribution"]["properties"]) == {
+        f.name for f in fields(DistributionSpec)
+    }
+    assert set(properties["config"]["properties"]) == {
+        f.name for f in fields(PynamicConfig)
+    }
+
+
+def test_schema_is_pinned_by_golden_file():
+    golden_path = Path(__file__).parent / "data" / "scenario_schema.json"
+    with open(golden_path, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    assert SCENARIO_JSON_SCHEMA == golden, (
+        "the published ScenarioSpec schema changed; if intentional, "
+        "regenerate tests/data/scenario_schema.json and call the change "
+        "out in the PR"
+    )
+
+
+def test_spec_hash_is_stable_across_processes():
+    """The disk cache keys on spec_hash, so it must not depend on
+    per-process state (PYTHONHASHSEED, import order, dict order)."""
+    spec = (
+        Scenario.preset("llnl_multiphysics_scaled")
+        .nodes(1536)
+        .warm_fraction(0.25)
+        .build()
+    )
+    presets = ["tiny", "table1", "table4", "llnl_multiphysics"]
+    expected = [scenario_preset(name).spec_hash for name in presets]
+    expected.append(spec.spec_hash)
+    program = (
+        "from repro.scenario import Scenario, scenario_preset\n"
+        f"for name in {presets!r}:\n"
+        "    print(scenario_preset(name).spec_hash)\n"
+        "print(Scenario.preset('llnl_multiphysics_scaled').nodes(1536)"
+        ".warm_fraction(0.25).build().spec_hash)\n"
+    )
+    src = Path(__file__).resolve().parents[1] / "src"
+    fresh = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"},
+    )
+    assert fresh.stdout.split() == expected
