@@ -24,6 +24,7 @@ which is what lets the overlay wire relay daemons without cycles.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
@@ -84,6 +85,19 @@ class DistributionSpec:
     straggler_relay_slowdown: float = 2.0
 
     def __post_init__(self) -> None:
+        # NaN fails no ``<`` comparison and inf passes the one-sided
+        # bounds below, so either would survive into the canonical spec
+        # hash/JSON; reject non-finite floats up front, by field name.
+        for name in (
+            "relay_bandwidth_share",
+            "daemon_spawn_s",
+            "straggler_relay_slowdown",
+        ):
+            value = getattr(self, name)
+            if isinstance(value, float) and not math.isfinite(value):
+                raise ConfigError(
+                    f"{name} must be a finite number, got {value!r}"
+                )
         if self.fanout < 1:
             raise ConfigError(f"fanout must be >= 1, got {self.fanout}")
         if self.source not in SOURCES:

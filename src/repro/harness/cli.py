@@ -18,6 +18,9 @@ Examples::
     pynamic-repro spec show llnl_multiphysics_scaled
     pynamic-repro spec validate scenario.json
     pynamic-repro spec schema
+    pynamic-repro results query .sweep-cache --metric staging_max
+    pynamic-repro results diff old-cache/ .sweep-cache --fail-over 5
+    pynamic-repro results export .sweep-cache --json results.json
     pynamic-repro generate --modules 8 --utilities 6 --avg-functions 40 \\
         --out /tmp/pynamic_tree
     pynamic-repro sizes --modules 280 --utilities 215 --avg-functions 1850 \\
@@ -265,6 +268,125 @@ def _spec_from_job_args(args: argparse.Namespace):
     return spec
 
 
+def _format_metric(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return "-" if value is None else str(value)
+
+
+def _run_results(args: argparse.Namespace) -> int:
+    """The ``results query/diff/export`` subcommands."""
+    from repro.perf.report import render_table
+    from repro.results import (
+        diff_rows,
+        export_document,
+        open_warehouse,
+        query_rows,
+        resolve_metrics,
+        write_json_atomic,
+    )
+
+    try:
+        if args.results_command == "query":
+            metrics = resolve_metrics(args.metrics)
+            with open_warehouse(args.warehouse) as store:
+                rows = query_rows(
+                    store,
+                    engine=args.engine,
+                    distribution=args.distribution,
+                    kind=args.kind,
+                    commit=args.commit,
+                    key_prefix=args.spec_hash,
+                )
+            if args.json:
+                print(json.dumps(rows, indent=2, sort_keys=True))
+                return 0
+            table = [
+                [
+                    (row.get("result_key") or row["cache_key"])[:16],
+                    row.get("kind") or "-",
+                    row.get("engine") or "-",
+                    row.get("distribution") or "-",
+                    _format_metric(row.get("n_tasks")),
+                    _format_metric(row.get("n_nodes")),
+                    *[_format_metric(row.get(metric)) for metric in metrics],
+                    (row.get("git_commit") or "-")[:8],
+                    row.get("created_at") or "-",
+                ]
+                for row in rows
+            ]
+            print(
+                render_table(
+                    ["spec", "kind", "engine", "distribution", "tasks",
+                     "nodes", *metrics, "commit", "stored"],
+                    table,
+                    title=f"{len(rows)} stored result(s)",
+                )
+            )
+            return 0
+        if args.results_command == "diff":
+            metrics = resolve_metrics(args.metrics)
+            with open_warehouse(args.old) as old_store:
+                old_rows = query_rows(old_store)
+            with open_warehouse(args.new) as new_store:
+                new_rows = query_rows(new_store)
+            diff = diff_rows(old_rows, new_rows, metrics)
+            if args.json:
+                print(json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                table = [
+                    [
+                        entry["spec"],
+                        entry.get("distribution") or "-",
+                        _format_metric(entry.get("n_nodes")),
+                        entry["metric"],
+                        _format_metric(entry["old"]),
+                        _format_metric(entry["new"]),
+                        f"{entry['pct']:+.2f}%",
+                    ]
+                    for entry in diff["changed"]
+                ]
+                print(
+                    render_table(
+                        ["spec", "distribution", "nodes", "metric", "old",
+                         "new", "delta"],
+                        table,
+                        title=(
+                            f"{len(diff['changed'])} compared metric(s), "
+                            f"{len(diff['only_old'])} only in old, "
+                            f"{len(diff['only_new'])} only in new"
+                        ),
+                    )
+                )
+            if (
+                args.fail_over is not None
+                and diff["max_regression_pct"] > args.fail_over
+            ):
+                print(
+                    f"FAIL: worst regression "
+                    f"{diff['max_regression_pct']:+.2f}% exceeds "
+                    f"--fail-over {args.fail_over}%",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        if args.results_command == "export":
+            with open_warehouse(args.warehouse) as store:
+                document = export_document(store)
+            if args.json == "-":
+                print(json.dumps(document, indent=2, sort_keys=True))
+            else:
+                write_json_atomic(args.json, document)
+                print(
+                    f"wrote {document['row_count']} row(s) to {args.json}"
+                )
+            return 0
+    except ConfigError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -322,6 +444,115 @@ def build_parser() -> argparse.ArgumentParser:
     )
     job_parser.add_argument(
         "--warm", action="store_true", help="start with warm buffer caches"
+    )
+    job_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "memoize the job through the results warehouse: a spec hash "
+            "any sweep already evaluated replays from disk, and this "
+            "job's report becomes queryable via `results query`"
+        ),
+    )
+    results_parser = sub.add_parser(
+        "results",
+        help="query, diff or export a results warehouse (sweep cache DB)",
+    )
+    results_sub = results_parser.add_subparsers(
+        dest="results_command", required=True
+    )
+
+    def _add_warehouse_argument(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "warehouse",
+            nargs="?",
+            default=".sweep-cache",
+            help=(
+                "cache dir or .sqlite3 file holding the warehouse "
+                "(default: .sweep-cache)"
+            ),
+        )
+
+    query_parser = results_sub.add_parser(
+        "query",
+        help="print stored sweep rows (typed columns, no payloads)",
+    )
+    _add_warehouse_argument(query_parser)
+    query_parser.add_argument(
+        "--engine", default=None, help="filter by engine column"
+    )
+    query_parser.add_argument(
+        "--distribution", default=None, help="filter by distribution label"
+    )
+    query_parser.add_argument(
+        "--kind", default=None, help="filter by result kind (e.g. JobReport)"
+    )
+    query_parser.add_argument(
+        "--commit", default=None, help="filter by git commit"
+    )
+    query_parser.add_argument(
+        "--spec-hash",
+        default=None,
+        metavar="PREFIX",
+        help="filter by canonical spec-hash (or row-digest) prefix",
+    )
+    query_parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        dest="metrics",
+        metavar="COLUMN",
+        help="metric column(s) to print (repeatable; default: total_max, "
+        "staging_max)",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="emit rows as JSON to stdout"
+    )
+    diff_parser = results_sub.add_parser(
+        "diff",
+        help=(
+            "compare two warehouses metric-by-metric (regression gate "
+            "over metric trajectories across commits)"
+        ),
+    )
+    diff_parser.add_argument(
+        "old", help="baseline warehouse (cache dir or .sqlite3 file)"
+    )
+    diff_parser.add_argument(
+        "new", help="candidate warehouse (cache dir or .sqlite3 file)"
+    )
+    diff_parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        dest="metrics",
+        metavar="COLUMN",
+        help="metric column(s) to compare (repeatable)",
+    )
+    diff_parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "exit nonzero when any shared grid point's metric grew by "
+            "more than PCT percent — the CI perf-regression gate"
+        ),
+    )
+    diff_parser.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON to stdout"
+    )
+    export_parser = results_sub.add_parser(
+        "export",
+        help="dump every stored row (typed columns + spec JSON) as JSON",
+    )
+    _add_warehouse_argument(export_parser)
+    export_parser.add_argument(
+        "--json",
+        required=True,
+        metavar="PATH",
+        help="output path ('-' writes to stdout)",
     )
     spec_parser = sub.add_parser(
         "spec", help="show, validate or describe ScenarioSpec documents"
@@ -403,12 +634,14 @@ def main(argv: list[str] | None = None) -> int:
                 json.dump(payload, handle, indent=2, sort_keys=True)
             print(f"wrote {args.json}")
         return 0
+    if args.command == "results":
+        return _run_results(args)
     if args.command == "job":
         from repro.scenario import simulate
 
         spec = _spec_from_job_args(args)
         print(f"spec {spec.spec_hash[:16]}", file=sys.stderr)
-        report = simulate(spec)
+        report = simulate(spec, cache_dir=args.cache_dir)
         print(
             f"{report.engine} job: {report.n_tasks} tasks on "
             f"{report.n_nodes} nodes, "

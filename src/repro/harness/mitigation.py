@@ -324,4 +324,26 @@ def run(
         "homogeneous cold cluster, and the chunked cut-through broadcast "
         "tracks staging_seconds(PIPELINED) the same way"
     )
+    _note_cache_stats(result, runner)
     return result
+
+
+def _note_cache_stats(result: ExperimentResult, runner: "SweepRunner | None") -> None:
+    """Record the sweep cache's hit/miss/corrupt accounting.
+
+    The corrupt count is the results warehouse's poisoned-entry
+    surface: a nonzero value means disk rows existed but could not be
+    replayed (torn payloads, schema-version drift) — visible here
+    instead of silently inflating the miss column.
+    """
+    if runner is None:
+        return
+    result.metrics["sweep_cache_hits"] = float(runner.hits)
+    result.metrics["sweep_cache_misses"] = float(runner.misses)
+    result.metrics["sweep_cache_corrupt"] = float(runner.corrupt)
+    if runner.corrupt:
+        result.notes.append(
+            f"sweep cache reported {runner.corrupt} corrupt disk "
+            f"entr{'y' if runner.corrupt == 1 else 'ies'} (recomputed; "
+            f"see the warehouse warnings above)"
+        )

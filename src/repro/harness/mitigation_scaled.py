@@ -29,6 +29,7 @@ from repro.errors import ConfigError
 from repro.fs.nfs import NFSServer
 from repro.fs.staging import StagingStrategy, staging_seconds
 from repro.harness.experiments import ExperimentResult, register
+from repro.harness.mitigation import _note_cache_stats
 from repro.harness.sweep import SweepRunner, sweep_scenarios
 from repro.machine.cluster import Cluster
 from repro.rng import SeededRng
@@ -213,7 +214,10 @@ def run(
     specs = [spec for _, _, spec in cells]
     result.declare_scenario(*specs)
     summaries = runner.map(
-        _eval_staging_point, specs, keys=[spec.spec_hash for spec in specs]
+        _eval_staging_point,
+        specs,
+        keys=[spec.spec_hash for spec in specs],
+        spec_docs=[spec.canonical_json() for spec in specs],
     )
     by_cell = {
         (label, nodes): summary
@@ -270,4 +274,5 @@ def run(
         "spec hash: with --cache-dir the >1k-node passes replay from "
         "disk instead of re-simulating"
     )
+    _note_cache_stats(result, runner)
     return result

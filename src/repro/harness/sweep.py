@@ -19,9 +19,15 @@ Workers must re-import this module, so the evaluation functions are
 plain top-level functions of picklable arguments, and results are
 reduced to report dataclasses (never clusters or linkers).
 
-With ``SweepRunner(cache_dir=...)`` results also persist on disk keyed
-by a hash of the grid point, so repeated studies — and CI re-runs —
-skip recomputation across processes.  Scenario grids
+With ``SweepRunner(cache_dir=...)`` results also persist on disk, so
+repeated studies — and CI re-runs — skip recomputation across
+processes.  The disk layer is the SQLite results warehouse
+(:mod:`repro.results`): WAL-mode, schema-versioned,
+concurrent-writer-safe, with the full :class:`JobReport` metric
+surface stored as queryable typed columns next to the pickled payload
+(``pynamic-repro results query/diff/export``).  A ``cache_dir`` that
+still holds the old pickle-blob entries migrates into the warehouse on
+first open, bit-identically.  Scenario grids
 (:func:`sweep_scenarios`, and :func:`sweep_job_reports` which
 normalizes its legacy kwargs into specs) key on the *canonical spec
 hash* (:attr:`ScenarioSpec.spec_hash`), so the same grid point hits the
@@ -30,9 +36,7 @@ cache no matter which API spelled it.
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
 from multiprocessing import get_context
 from typing import Callable, Sequence
 
@@ -101,12 +105,18 @@ class SweepRunner:
     point) so regenerating overlapping tables (or re-running an
     experiment in the same process) re-simulates nothing.
 
-    ``cache_dir`` adds a disk layer under the in-memory one: each
-    result is pickled to ``<cache_dir>/<sha256 of function+point>.pkl``,
-    so a fresh process (a CI run, a notebook restart) replays previous
-    studies without re-simulating.  Points must therefore have stable
+    ``cache_dir`` adds a disk layer under the in-memory one: the
+    SQLite results warehouse (``<cache_dir>/warehouse.sqlite3``, see
+    :mod:`repro.results`), so a fresh process (a CI run, a notebook
+    restart) replays previous studies without re-simulating — and two
+    concurrent processes (parallel sweeps, a CI run next to a local
+    one) can share the one warehouse safely.  Points must have stable
     ``repr``s — true for the config/scenario dataclasses the grids use.
-    Disk loads count as ``hits``.
+    Disk loads count as ``hits``; rows that exist but cannot be read
+    back (torn payloads, schema-version mismatches) count as
+    ``corrupt`` and are reported with a warning, never silently folded
+    into ``misses``.  ``cache_dir`` may also name a ``.sqlite3`` file
+    directly.
     """
 
     def __init__(
@@ -125,41 +135,44 @@ class SweepRunner:
         self.workers = workers
         self.memoize = memoize
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self._warehouse = None
         if self.cache_dir is not None:
-            os.makedirs(self.cache_dir, exist_ok=True)
+            from repro.results.store import ResultsWarehouse
+
+            # Opens (or creates) <cache_dir>/warehouse.sqlite3 and
+            # absorbs any legacy pickle-blob entries still in the dir.
+            self._warehouse = ResultsWarehouse.for_cache_dir(self.cache_dir)
         self._memo: dict[tuple[str, str], object] = {}
         self.hits = 0
         self.misses = 0
 
-    # -- disk layer --------------------------------------------------------
-    def _cache_path(self, key: tuple[str, str]) -> str:
-        digest = hashlib.sha256(f"{key[0]}:{key[1]}".encode()).hexdigest()
-        return os.path.join(self.cache_dir, f"{digest}.pkl")  # type: ignore[arg-type]
+    # -- disk layer (the SQLite results warehouse) -------------------------
+    @property
+    def warehouse(self) -> "object | None":
+        """The backing :class:`repro.results.store.ResultsWarehouse`
+        (None without ``cache_dir``)."""
+        return self._warehouse
+
+    @property
+    def corrupt(self) -> int:
+        """Disk entries that existed but could not be read back —
+        distinct from ``misses``, so CI cache poisoning is visible."""
+        return self._warehouse.corrupt if self._warehouse is not None else 0
 
     def _disk_load(self, key: tuple[str, str]) -> object | None:
-        if self.cache_dir is None:
+        if self._warehouse is None:
             return None
-        path = self._cache_path(key)
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            # Any unreadable entry — missing, torn, or pickled against an
-            # older version of the report classes (AttributeError /
-            # ImportError / TypeError on load) — is a cache miss, never
-            # a crash: the point is recomputed and the entry rewritten.
-            return None
+        return self._warehouse.load(key[0], key[1])
 
-    def _disk_store(self, key: tuple[str, str], result: object) -> None:
-        if self.cache_dir is None:
+    def _disk_store(
+        self,
+        key: tuple[str, str],
+        result: object,
+        spec_json: "str | None" = None,
+    ) -> None:
+        if self._warehouse is None:
             return
-        path = self._cache_path(key)
-        # Write-then-rename so a crashed run never leaves a torn pickle
-        # for the next process to trip over.
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            pickle.dump(result, handle)
-        os.replace(tmp, path)
+        self._warehouse.store(key[0], key[1], result, spec_json=spec_json)
 
     def _worker_count(self, n_points: int) -> int:
         if self.workers is not None:
@@ -171,6 +184,7 @@ class SweepRunner:
         func: Callable[[tuple], object],
         points: Sequence[tuple],
         keys: "Sequence[str] | None" = None,
+        spec_docs: "Sequence[str | None] | None" = None,
     ) -> list:
         """Evaluate ``func`` over ``points``, parallel and memoized.
 
@@ -181,11 +195,18 @@ class SweepRunner:
         ``keys`` optionally supplies one stable memo key per point in
         place of ``repr(point)`` — the scenario sweeps pass each spec's
         canonical hash, so any two spellings of the same grid point
-        share a cache entry (in memory and on disk).
+        share a cache entry (in memory and on disk).  ``spec_docs``
+        optionally carries each point's canonical spec JSON, stored
+        alongside the result in the warehouse so ``results query``
+        shows *what* was parameterized, not just the hash.
         """
         if keys is not None and len(keys) != len(points):
             raise ConfigError(
                 f"got {len(keys)} keys for {len(points)} points"
+            )
+        if spec_docs is not None and len(spec_docs) != len(points):
+            raise ConfigError(
+                f"got {len(spec_docs)} spec docs for {len(points)} points"
             )
         if not self.memoize:
             self.misses += len(points)
@@ -216,8 +237,14 @@ class SweepRunner:
                 func, [points[index] for index in compute.values()]
             )
             self._memo.update(zip(compute.keys(), computed))
-            for key, result in zip(compute.keys(), computed):
-                self._disk_store(key, result)
+            for (key, index), result in zip(compute.items(), computed):
+                self._disk_store(
+                    key,
+                    result,
+                    spec_json=(
+                        spec_docs[index] if spec_docs is not None else None
+                    ),
+                )
             for index, key in enumerate(keys):
                 if index not in results:
                     results[index] = self._memo[key]
@@ -257,7 +284,10 @@ def sweep_scenarios(
     runner = runner or DEFAULT_RUNNER
     specs = list(specs)
     return runner.map(
-        _eval_scenario_point, specs, keys=[spec.spec_hash for spec in specs]
+        _eval_scenario_point,
+        specs,
+        keys=[spec.spec_hash for spec in specs],
+        spec_docs=[spec.canonical_json() for spec in specs],
     )
 
 

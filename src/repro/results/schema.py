@@ -1,0 +1,189 @@
+"""The warehouse schema: one versioned table of sweep results.
+
+Every row is one evaluated grid point, keyed by the same digest the
+legacy pickle cache used for its file names —
+``sha256("<func>:<key>")`` where ``key`` is the canonical
+:attr:`~repro.scenario.spec.ScenarioSpec.spec_hash` for scenario grids
+— so a migrated pickle entry and a natively stored one are the same
+row.  The pickled result object rides along as an opaque payload (the
+exact value the sweep runner replays, bit-identical), while the
+queryable surface is *typed columns*: engine, distribution label, task
+and node counts, the per-rank/staging phase percentiles, plus the spec
+JSON, the git commit and a timestamp.
+
+``SCHEMA_VERSION`` is stamped into the ``meta`` table on creation and
+checked on every open; a mismatched warehouse is rebuilt with its row
+count *reported* (see :mod:`repro.results.migrate`), never silently
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Bump on any breaking change to the table layout below.  Opening a
+#: warehouse written by a different version never reads its rows — they
+#: are counted, reported and dropped by the migration layer.
+SCHEMA_VERSION = 1
+
+#: File name of the warehouse inside a ``cache_dir``.
+WAREHOUSE_FILENAME = "warehouse.sqlite3"
+
+#: Connection pragmas, WAL-first per the pragma-tuned SQLite exemplars:
+#: WAL journaling gives concurrent sweep workers single-writer /
+#: many-reader semantics without blocking readers, NORMAL sync is
+#: durable enough for a cache (the entry is recomputable), and the
+#: busy timeout makes competing ``BEGIN IMMEDIATE`` writers queue
+#: instead of erroring out.
+PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA temp_store=MEMORY",
+    "PRAGMA cache_size=-4096",  # 4 MB page cache
+    "PRAGMA busy_timeout=30000",
+)
+
+#: The typed metric columns (all nullable REAL/INTEGER/TEXT): what
+#: ``results query`` filters and prints without unpickling payloads.
+METRIC_COLUMNS = (
+    "engine",
+    "distribution",
+    "n_tasks",
+    "n_nodes",
+    "cold",
+    "total_s",
+    "startup_s",
+    "import_s",
+    "visit_s",
+    "mpi_s",
+    "total_p50",
+    "total_p95",
+    "total_max",
+    "total_skew_s",
+    "startup_p50",
+    "startup_p95",
+    "startup_max",
+    "startup_skew_s",
+    "staging_p50",
+    "staging_p95",
+    "staging_max",
+    "staging_skew_s",
+)
+
+CREATE_META = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)
+"""
+
+CREATE_RESULTS = """
+CREATE TABLE IF NOT EXISTS results (
+    cache_key TEXT PRIMARY KEY,
+    func TEXT,
+    result_key TEXT,
+    kind TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    spec_json TEXT,
+    engine TEXT,
+    distribution TEXT,
+    n_tasks INTEGER,
+    n_nodes INTEGER,
+    cold INTEGER,
+    total_s REAL,
+    startup_s REAL,
+    import_s REAL,
+    visit_s REAL,
+    mpi_s REAL,
+    total_p50 REAL,
+    total_p95 REAL,
+    total_max REAL,
+    total_skew_s REAL,
+    startup_p50 REAL,
+    startup_p95 REAL,
+    startup_max REAL,
+    startup_skew_s REAL,
+    staging_p50 REAL,
+    staging_p95 REAL,
+    staging_max REAL,
+    staging_skew_s REAL,
+    metrics_json TEXT,
+    git_commit TEXT,
+    created_at TEXT NOT NULL,
+    updated_at TEXT NOT NULL
+)
+"""
+
+CREATE_INDEXES = (
+    "CREATE INDEX IF NOT EXISTS ix_results_func_key"
+    " ON results (func, result_key)",
+    "CREATE INDEX IF NOT EXISTS ix_results_commit ON results (git_commit)",
+)
+
+
+def _number(value: object) -> "float | int | None":
+    """``value`` as a JSON/SQL-safe number (None for anything else)."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    return None
+
+
+def extract_columns(result: object) -> dict:
+    """The typed-column view of one sweep result (duck-typed).
+
+    :class:`~repro.core.job.JobReport`-shaped results fill the full
+    per-rank/staging/startup percentile set; staging summaries
+    (``mitigation_scaled``'s :class:`StagingSummary`) fill the staging
+    columns; anything else stores payload-only with an empty metric
+    set.  Returns a dict of ``METRIC_COLUMNS`` values plus
+    ``metrics_json`` — every numeric attribute the result exposes, so
+    kind-specific extras (source reads, relay sends) stay queryable.
+    """
+    columns: dict[str, object] = {name: None for name in METRIC_COLUMNS}
+    metrics: dict[str, object] = {}
+    if hasattr(result, "rank0") and hasattr(result, "per_rank"):
+        # JobReport: the full phase/percentile surface.
+        for name in METRIC_COLUMNS:
+            if name in ("engine", "distribution"):
+                columns[name] = getattr(result, name, None)
+                continue
+            value = _number(getattr(result, name, None))
+            columns[name] = value
+            if value is not None:
+                metrics[name] = value
+    elif hasattr(result, "makespan_s") and hasattr(result, "strategy"):
+        # StagingSummary: staging-phase columns under the shared names.
+        columns["distribution"] = result.strategy
+        columns["n_nodes"] = _number(result.n_nodes)
+        columns["staging_max"] = _number(result.makespan_s)
+        columns["staging_p50"] = _number(getattr(result, "p50_s", None))
+        columns["staging_p95"] = _number(getattr(result, "p95_s", None))
+        columns["staging_skew_s"] = _number(getattr(result, "skew_s", None))
+        for name in (
+            "n_files",
+            "staged_bytes",
+            "makespan_s",
+            "p50_s",
+            "p95_s",
+            "skew_s",
+            "source_reads",
+            "relay_sends",
+            "warm_node_count",
+        ):
+            value = _number(getattr(result, name, None))
+            if value is not None:
+                metrics[name] = value
+    columns["metrics"] = metrics
+    return columns
+
+
+def row_as_dict(row: Mapping) -> dict:
+    """One warehouse row as a JSON-ready dict (payload blob excluded)."""
+    import json
+
+    data = {key: row[key] for key in row.keys() if key != "payload"}
+    raw = data.pop("metrics_json", None)
+    data["metrics"] = json.loads(raw) if raw else {}
+    return data

@@ -1,0 +1,428 @@
+"""The results warehouse: a concurrent-writer-safe SQLite sweep store.
+
+This replaces the pickle-blob disk cache that backed
+:class:`repro.harness.sweep.SweepRunner` — a directory of anonymous
+``<digest>.pkl`` files whose loader swallowed *every* failure as a
+cache miss, so a poisoned CI cache was indistinguishable from a cold
+one.  The warehouse keeps the same keying (the digest of
+``"<func>:<key>"``, which for scenario grids is the canonical spec
+hash) but stores rows in one schema-versioned SQLite file:
+
+- **WAL + ``BEGIN IMMEDIATE``** — parallel sweep workers, a second CI
+  run and ``results query`` can share one warehouse: writers queue on
+  the busy timeout instead of corrupting each other, readers never
+  block.
+- **Counted failures** — an unreadable payload, a torn row or a
+  schema-version mismatch increments :attr:`corrupt` and emits a
+  one-line warning; it is *never* silently conflated with a miss.
+- **Typed columns** — the :class:`~repro.core.job.JobReport` metric
+  surface (phase seconds, per-rank/staging/startup percentiles,
+  engine, distribution label) plus spec JSON, git commit and
+  timestamps, so stored sweeps are queryable and diffable across
+  commits (:mod:`repro.results.query`).
+
+A legacy pickle cache dir migrates into the warehouse on first open —
+see :mod:`repro.results.migrate`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import subprocess
+import warnings
+from datetime import datetime, timezone
+from functools import lru_cache
+
+from repro.errors import ConfigError
+from repro.results.schema import (
+    CREATE_INDEXES,
+    CREATE_META,
+    CREATE_RESULTS,
+    PRAGMAS,
+    SCHEMA_VERSION,
+    WAREHOUSE_FILENAME,
+    extract_columns,
+    row_as_dict,
+)
+
+
+def cache_key(func_name: str, key: str) -> str:
+    """The row digest for a (function, point-key) pair.
+
+    Identical to the legacy pickle layer's file-name digest, so a
+    migrated ``<digest>.pkl`` entry and a natively stored row for the
+    same grid point are one and the same.
+    """
+    return hashlib.sha256(f"{func_name}:{key}".encode()).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def current_commit() -> "str | None":
+    """The git commit to stamp rows with (env override, then git)."""
+    for env in ("PYNAMIC_REPRO_COMMIT", "GITHUB_SHA"):
+        value = os.environ.get(env)
+        if value:
+            return value
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def resolve_warehouse_path(location: "str | os.PathLike[str]") -> str:
+    """Map a ``cache_dir``-style location to the warehouse DB path.
+
+    A directory (existing or to-be-created) holds the DB as
+    ``warehouse.sqlite3`` inside it; a path that already names a file
+    (or ends in a SQLite suffix) is used verbatim, so CLI users can
+    point straight at a DB file.
+    """
+    path = os.fspath(location)
+    if os.path.isfile(path) or path.endswith((".sqlite3", ".sqlite", ".db")):
+        return path
+    return os.path.join(path, WAREHOUSE_FILENAME)
+
+
+class ResultsWarehouse:
+    """One SQLite-backed store of evaluated sweep grid points.
+
+    Opening is lazy and fork-aware: the connection is (re)established
+    on first use in each process, so a runner forked into worker
+    processes never shares a SQLite handle across the fork boundary.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = resolve_warehouse_path(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn: sqlite3.Connection | None = None
+        self._pid = -1
+        #: Rows that existed but could not be read back: unpicklable
+        #: payloads, torn rows, schema-version mismatches, unreadable
+        #: legacy pickles.  Never folded into cache misses.
+        self.corrupt = 0
+        #: Legacy pickle entries absorbed on open.
+        self.migrated = 0
+        #: Rows written (inserts and overwrites).
+        self.writes = 0
+
+    @classmethod
+    def for_cache_dir(
+        cls, cache_dir: "str | os.PathLike[str]"
+    ) -> "ResultsWarehouse":
+        """Open the warehouse for a sweep ``cache_dir``, absorbing any
+        legacy pickle entries the directory still holds."""
+        store = cls(cache_dir)
+        directory = os.path.dirname(store.path)
+        if directory and os.path.isdir(directory):
+            from repro.results.migrate import migrate_pickle_dir
+
+            migrate_pickle_dir(store, directory)
+        return store
+
+    # -- connection management --------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        self._conn = None
+        self._pid = os.getpid()
+        try:
+            self._conn = self._open()
+        except sqlite3.DatabaseError:
+            # The file exists but is not a readable database (the
+            # legacy failure mode this store exists to surface).
+            self._quarantine("not a SQLite database")
+            self._conn = self._open()
+        return self._conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        # Autocommit mode: transactions are explicit BEGIN IMMEDIATE
+        # blocks below, never the driver's implicit ones.
+        conn.isolation_level = None
+        try:
+            for pragma in PRAGMAS:
+                conn.execute(pragma)
+            self._ensure_schema(conn)
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        from repro.results.migrate import ensure_schema
+
+        dropped = ensure_schema(conn)
+        if dropped:
+            self.corrupt += dropped
+            warnings.warn(
+                f"results warehouse {self.path}: dropped {dropped} row(s) "
+                f"written by another schema version (counted as corrupt)",
+                stacklevel=4,
+            )
+
+    def _quarantine(self, reason: str) -> None:
+        """Discard an unreadable warehouse file and count it."""
+        self.corrupt += 1
+        warnings.warn(
+            f"results warehouse {self.path} is unreadable ({reason}); "
+            f"rebuilding it — prior rows are lost and will recompute",
+            stacklevel=4,
+        )
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(self.path + suffix)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    def __enter__(self) -> "ResultsWarehouse":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the cache surface the sweep runner drives -------------------------
+    def load(self, func_name: str, key: str) -> "object | None":
+        """The stored result for a grid point, or None on a miss.
+
+        A row whose payload cannot be unpickled (report classes moved
+        on, torn write survived a crash) is deleted, counted in
+        :attr:`corrupt` and reported — the caller sees a miss and
+        recomputes, but the poisoning is visible.
+        """
+        digest = cache_key(func_name, key)
+        conn = self._connect()
+        try:
+            row = conn.execute(
+                "SELECT payload, func FROM results WHERE cache_key = ?",
+                (digest,),
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            conn.close()
+            self._conn = None
+            self._quarantine(str(exc))
+            return None
+        if row is None:
+            return None
+        try:
+            result = pickle.loads(row["payload"])
+        except Exception as exc:
+            self.corrupt += 1
+            warnings.warn(
+                f"results warehouse {self.path}: corrupt payload for "
+                f"{func_name}:{key[:16]} ({type(exc).__name__}: {exc}); "
+                f"recomputing",
+                stacklevel=3,
+            )
+            self._delete(conn, digest)
+            return None
+        if row["func"] is None:
+            # A row absorbed from the legacy pickle cache carries no
+            # (func, key) metadata — backfill it now that we know it.
+            self._backfill(conn, digest, func_name, key)
+        return result
+
+    def store(
+        self,
+        func_name: str,
+        key: str,
+        result: object,
+        spec_json: "str | None" = None,
+    ) -> None:
+        """Insert (or overwrite) one grid point's result.
+
+        The write is one ``BEGIN IMMEDIATE`` transaction: the reserved
+        lock is taken up front so two processes storing the same key
+        serialize on the busy timeout instead of deadlocking, and a
+        failure mid-write rolls back — no torn rows, no leaked temp
+        files (the discipline the pickle layer's ``.tmp.<pid>`` writer
+        lacked).
+        """
+        digest = cache_key(func_name, key)
+        payload = pickle.dumps(result)
+        columns = extract_columns(result)
+        metrics = columns.pop("metrics")
+        now = _utcnow()
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                """
+                INSERT INTO results (
+                    cache_key, func, result_key, kind, payload, spec_json,
+                    engine, distribution, n_tasks, n_nodes, cold,
+                    total_s, startup_s, import_s, visit_s, mpi_s,
+                    total_p50, total_p95, total_max, total_skew_s,
+                    startup_p50, startup_p95, startup_max, startup_skew_s,
+                    staging_p50, staging_p95, staging_max, staging_skew_s,
+                    metrics_json, git_commit, created_at, updated_at
+                ) VALUES (
+                    :cache_key, :func, :result_key, :kind, :payload,
+                    :spec_json,
+                    :engine, :distribution, :n_tasks, :n_nodes, :cold,
+                    :total_s, :startup_s, :import_s, :visit_s, :mpi_s,
+                    :total_p50, :total_p95, :total_max, :total_skew_s,
+                    :startup_p50, :startup_p95, :startup_max,
+                    :startup_skew_s,
+                    :staging_p50, :staging_p95, :staging_max,
+                    :staging_skew_s,
+                    :metrics_json, :git_commit, :created_at, :updated_at
+                )
+                ON CONFLICT (cache_key) DO UPDATE SET
+                    func = excluded.func,
+                    result_key = excluded.result_key,
+                    kind = excluded.kind,
+                    payload = excluded.payload,
+                    spec_json = COALESCE(excluded.spec_json, spec_json),
+                    engine = excluded.engine,
+                    distribution = excluded.distribution,
+                    n_tasks = excluded.n_tasks,
+                    n_nodes = excluded.n_nodes,
+                    cold = excluded.cold,
+                    total_s = excluded.total_s,
+                    startup_s = excluded.startup_s,
+                    import_s = excluded.import_s,
+                    visit_s = excluded.visit_s,
+                    mpi_s = excluded.mpi_s,
+                    total_p50 = excluded.total_p50,
+                    total_p95 = excluded.total_p95,
+                    total_max = excluded.total_max,
+                    total_skew_s = excluded.total_skew_s,
+                    startup_p50 = excluded.startup_p50,
+                    startup_p95 = excluded.startup_p95,
+                    startup_max = excluded.startup_max,
+                    startup_skew_s = excluded.startup_skew_s,
+                    staging_p50 = excluded.staging_p50,
+                    staging_p95 = excluded.staging_p95,
+                    staging_max = excluded.staging_max,
+                    staging_skew_s = excluded.staging_skew_s,
+                    metrics_json = excluded.metrics_json,
+                    git_commit = excluded.git_commit,
+                    updated_at = excluded.updated_at
+                """,
+                {
+                    "cache_key": digest,
+                    "func": func_name,
+                    "result_key": key,
+                    "kind": type(result).__name__,
+                    "payload": payload,
+                    "spec_json": spec_json,
+                    "metrics_json": json.dumps(metrics, sort_keys=True),
+                    "git_commit": current_commit(),
+                    "created_at": now,
+                    "updated_at": now,
+                    **columns,
+                },
+            )
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.rollback()
+            raise
+        self.writes += 1
+
+    def _backfill(
+        self, conn: sqlite3.Connection, digest: str, func_name: str, key: str
+    ) -> None:
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE results SET func = ?, result_key = ?, updated_at = ?"
+                " WHERE cache_key = ? AND func IS NULL",
+                (func_name, key, _utcnow(), digest),
+            )
+            conn.commit()
+        except sqlite3.OperationalError:
+            conn.rollback()  # metadata enrichment only — never worth a retry
+
+    def _delete(self, conn: sqlite3.Connection, digest: str) -> None:
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute("DELETE FROM results WHERE cache_key = ?", (digest,))
+            conn.commit()
+        except sqlite3.OperationalError:
+            conn.rollback()
+
+    # -- the query surface -------------------------------------------------
+    def rows(
+        self,
+        func: "str | None" = None,
+        engine: "str | None" = None,
+        distribution: "str | None" = None,
+        kind: "str | None" = None,
+        commit: "str | None" = None,
+        key_prefix: "str | None" = None,
+    ) -> list[dict]:
+        """Stored rows as dicts (payloads excluded), filtered by typed
+        columns; ``key_prefix`` matches the result key (spec hash) or
+        the row digest."""
+        clauses, params = [], []
+        for column, value in (
+            ("func", func),
+            ("engine", engine),
+            ("distribution", distribution),
+            ("kind", kind),
+            ("git_commit", commit),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if key_prefix:
+            clauses.append("(result_key LIKE ? OR cache_key LIKE ?)")
+            params.extend([f"{key_prefix}%", f"{key_prefix}%"])
+        sql = "SELECT * FROM results"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY n_nodes, distribution, cache_key"
+        return [row_as_dict(row) for row in self._connect().execute(sql, params)]
+
+    def __len__(self) -> int:
+        return self._connect().execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()[0]
+
+    @property
+    def schema_version(self) -> int:
+        row = self._connect().execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            raise ConfigError(
+                f"results warehouse {self.path} has no schema version"
+            )
+        return int(row["value"])
+
+
+# re-exported for callers that only need the DDL version
+__all__ = [
+    "ResultsWarehouse",
+    "cache_key",
+    "current_commit",
+    "resolve_warehouse_path",
+    "SCHEMA_VERSION",
+    "CREATE_META",
+    "CREATE_RESULTS",
+    "CREATE_INDEXES",
+]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Mapping
 
@@ -188,6 +189,14 @@ class ScenarioSpec:
             value = getattr(self, name)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 raise ConfigError(f"{name} must be a number, got {value!r}")
+            # NaN slips past every comparison below (it fails no ``<``)
+            # and inf passes the one-sided ones; either would poison the
+            # canonical spec hash and emit invalid JSON, so non-finite
+            # values are rejected here by name.
+            if not math.isfinite(value):
+                raise ConfigError(
+                    f"{name} must be a finite number, got {value!r}"
+                )
         if self.straggler_slowdown < 1.0:
             raise ConfigError(
                 f"straggler_slowdown must be >= 1, got {self.straggler_slowdown}"
@@ -563,10 +572,25 @@ class ScenarioSpec:
         )
 
     def canonical_json(self) -> str:
-        """Deterministic JSON text of :meth:`to_dict` (sorted, compact)."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        """Deterministic JSON text of :meth:`to_dict` (sorted, compact).
+
+        ``allow_nan=False`` is a backstop: validation already rejects
+        non-finite floats field-by-field, so any that still reach here
+        (a new knob missing its check) fail loudly instead of emitting
+        the ``NaN``/``Infinity`` tokens JSON forbids.
+        """
+        try:
+            return json.dumps(
+                self.to_dict(),
+                sort_keys=True,
+                separators=(",", ":"),
+                allow_nan=False,
+            )
+        except ValueError as exc:
+            raise ConfigError(
+                f"spec contains a non-finite float and has no canonical "
+                f"JSON form ({exc})"
+            ) from None
 
     @property
     def spec_hash(self) -> str:

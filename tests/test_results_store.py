@@ -1,0 +1,402 @@
+"""The results warehouse: store, migration, concurrency, query, CLI.
+
+Covers the SQLite sweep store that replaced the silent-failure pickle
+cache: bit-identical round-trips, legacy pickle-dir migration, corrupt
+rows *counted* instead of eaten, two concurrent writer processes on
+one warehouse (WAL + ``BEGIN IMMEDIATE``), and the ``results
+query/diff/export`` CLI.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+from multiprocessing import get_context
+
+import pytest
+
+from repro.core.config import PynamicConfig
+from repro.core.job import JobReport
+from repro.errors import ConfigError
+from repro.harness.cli import main
+from repro.harness.sweep import SweepRunner, sweep_scenarios
+from repro.results import (
+    ResultsWarehouse,
+    cache_key,
+    diff_rows,
+    export_document,
+    open_warehouse,
+    resolve_metrics,
+    resolve_warehouse_path,
+    write_json_atomic,
+)
+from repro.results.schema import SCHEMA_VERSION
+from repro.scenario.run import simulate
+from repro.scenario.spec import ScenarioSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return ScenarioSpec(
+        config=PynamicConfig(n_modules=2, n_utilities=1, avg_functions=4),
+        n_tasks=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tiny_spec):
+    return simulate(tiny_spec)
+
+
+class TestStoreRoundTrip:
+    def test_job_report_round_trips_bit_identically(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        with ResultsWarehouse(tmp_path) as store:
+            store.store(
+                "_eval_scenario_point",
+                tiny_spec.spec_hash,
+                tiny_report,
+                spec_json=tiny_spec.canonical_json(),
+            )
+            loaded = store.load("_eval_scenario_point", tiny_spec.spec_hash)
+        assert isinstance(loaded, JobReport)
+        assert loaded == tiny_report
+
+    def test_typed_columns_mirror_the_report(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        with ResultsWarehouse(tmp_path) as store:
+            store.store(
+                "_eval_scenario_point",
+                tiny_spec.spec_hash,
+                tiny_report,
+                spec_json=tiny_spec.canonical_json(),
+            )
+            (row,) = store.rows()
+        assert row["engine"] == tiny_report.engine
+        assert row["distribution"] == tiny_report.distribution
+        assert row["n_tasks"] == tiny_report.n_tasks
+        assert row["total_max"] == pytest.approx(tiny_report.total_max)
+        assert row["startup_p95"] == pytest.approx(tiny_report.startup_p95)
+        assert row["result_key"] == tiny_spec.spec_hash
+        assert json.loads(row["spec_json"]) == tiny_spec.to_dict()
+        assert row["created_at"]
+
+    def test_missing_key_is_a_plain_miss(self, tmp_path):
+        with ResultsWarehouse(tmp_path) as store:
+            assert store.load("f", "nope") is None
+            assert store.corrupt == 0
+
+    def test_cache_dir_may_name_the_db_file_directly(
+        self, tmp_path, tiny_report
+    ):
+        db = tmp_path / "my.sqlite3"
+        with ResultsWarehouse(db) as store:
+            store.store("f", "k", tiny_report)
+        assert db.exists()
+        with ResultsWarehouse(db) as again:
+            assert again.load("f", "k") == tiny_report
+
+    def test_resolve_warehouse_path(self, tmp_path):
+        assert resolve_warehouse_path(tmp_path) == str(
+            tmp_path / "warehouse.sqlite3"
+        )
+        assert resolve_warehouse_path("x.db") == "x.db"
+
+
+class TestCorruptionIsCountedNotEaten:
+    def test_unpicklable_payload_counts_corrupt_and_recomputes(
+        self, tmp_path, tiny_report
+    ):
+        with ResultsWarehouse(tmp_path) as store:
+            store.store("f", "k", tiny_report)
+            digest = cache_key("f", "k")
+            conn = store._connect()
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "UPDATE results SET payload = ? WHERE cache_key = ?",
+                (b"not a pickle", digest),
+            )
+            conn.commit()
+            with pytest.warns(UserWarning, match="corrupt payload"):
+                assert store.load("f", "k") is None
+            assert store.corrupt == 1
+            # The poisoned row is gone: the next load is a clean miss.
+            assert store.load("f", "k") is None
+            assert store.corrupt == 1
+
+    def test_schema_version_mismatch_drops_and_reports(
+        self, tmp_path, tiny_report
+    ):
+        with ResultsWarehouse(tmp_path) as store:
+            store.store("f", "k", tiny_report)
+        path = resolve_warehouse_path(tmp_path)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.warns(UserWarning, match="another schema version"):
+            store = ResultsWarehouse(tmp_path)
+            assert store.load("f", "k") is None
+        assert store.corrupt == 1
+        store.close()
+
+    def test_garbage_db_file_is_quarantined_and_rebuilt(
+        self, tmp_path, tiny_report
+    ):
+        path = resolve_warehouse_path(tmp_path)
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a database")
+        with pytest.warns(UserWarning, match="unreadable"):
+            store = ResultsWarehouse(tmp_path)
+            store.store("f", "k", tiny_report)
+        assert store.corrupt == 1
+        assert store.load("f", "k") == tiny_report
+        store.close()
+
+    def test_sweep_runner_surfaces_the_corrupt_counter(
+        self, tmp_path, tiny_spec
+    ):
+        first = SweepRunner(workers=1, cache_dir=tmp_path)
+        sweep_scenarios([tiny_spec], runner=first)
+        digest = cache_key("_eval_scenario_point", tiny_spec.spec_hash)
+        conn = sqlite3.connect(resolve_warehouse_path(tmp_path))
+        conn.execute(
+            "UPDATE results SET payload = ? WHERE cache_key = ?",
+            (b"torn", digest),
+        )
+        conn.commit()
+        conn.close()
+        fresh = SweepRunner(workers=1, cache_dir=tmp_path)
+        with pytest.warns(UserWarning, match="corrupt payload"):
+            sweep_scenarios([tiny_spec], runner=fresh)
+        # Recomputed (miss), and the poisoning is visible — not folded
+        # into the miss count as the pickle layer did.
+        assert (fresh.hits, fresh.misses, fresh.corrupt) == (0, 1, 1)
+
+
+class TestLegacyPickleMigration:
+    def _seed_legacy_entry(self, directory, func_name, key, result):
+        """Write a pickle entry exactly as the old ``_disk_store`` did."""
+        digest = hashlib.sha256(f"{func_name}:{key}".encode()).hexdigest()
+        with open(os.path.join(directory, f"{digest}.pkl"), "wb") as handle:
+            pickle.dump(result, handle)
+
+    def test_pickle_dir_migrates_bit_identically(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        self._seed_legacy_entry(
+            tmp_path, "_eval_scenario_point", tiny_spec.spec_hash, tiny_report
+        )
+        with pytest.warns(UserWarning, match="absorbed 1 pickle"):
+            runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        (replayed,) = sweep_scenarios([tiny_spec], runner=runner)
+        assert (runner.hits, runner.misses, runner.corrupt) == (1, 0, 0)
+        assert replayed == tiny_report
+        assert not list(tmp_path.glob("*.pkl"))  # absorbed, not copied
+        assert runner.warehouse.migrated == 1
+
+    def test_corrupt_pickles_are_counted_and_left_in_place(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        self._seed_legacy_entry(
+            tmp_path, "_eval_scenario_point", tiny_spec.spec_hash, tiny_report
+        )
+        bad = tmp_path / ("ff" * 32 + ".pkl")
+        bad.write_bytes(b"not a pickle")
+        leaked = tmp_path / ("ee" * 32 + ".pkl.tmp.12345")
+        leaked.write_bytes(b"torn mid-write")
+        with pytest.warns(UserWarning):
+            runner = SweepRunner(workers=1, cache_dir=tmp_path)
+        # good entry migrated; bad pickle + leaked tmp counted corrupt
+        assert runner.warehouse.migrated == 1
+        assert runner.corrupt == 2
+        assert bad.exists()  # left for post-mortem
+        assert not leaked.exists()  # torn by definition — swept
+
+    def test_migrated_row_backfills_func_and_key_on_first_hit(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        self._seed_legacy_entry(
+            tmp_path, "_eval_scenario_point", tiny_spec.spec_hash, tiny_report
+        )
+        with pytest.warns(UserWarning, match="absorbed"):
+            store = ResultsWarehouse.for_cache_dir(tmp_path)
+        (row,) = store.rows()
+        assert row["func"] is None  # the pickle file name holds no key
+        assert store.load("_eval_scenario_point", tiny_spec.spec_hash) is not None
+        (row,) = store.rows()
+        assert row["func"] == "_eval_scenario_point"
+        assert row["result_key"] == tiny_spec.spec_hash
+        store.close()
+
+
+def _store_one(args):
+    """Worker: hammer one key into a shared warehouse (top-level for
+    pickling under the spawn context)."""
+    path, worker_id, payload_marker = args
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.results.store import ResultsWarehouse
+
+    store = ResultsWarehouse(path)
+    for round_number in range(20):
+        store.store(
+            "_eval_scenario_point",
+            "shared-spec-hash",
+            {"worker": worker_id, "round": round_number, "marker": payload_marker},
+        )
+    store.close()
+    return worker_id
+
+
+class TestConcurrentWriters:
+    def test_two_processes_storing_the_same_key_do_not_tear(self, tmp_path):
+        """WAL + BEGIN IMMEDIATE: concurrent same-key writers serialize
+        on the busy timeout; the surviving row is one writer's intact
+        payload, never an error or a torn blob."""
+        path = resolve_warehouse_path(tmp_path)
+        context = get_context("spawn")
+        with context.Pool(processes=2) as pool:
+            done = pool.map(
+                _store_one, [(path, 1, "alpha"), (path, 2, "beta")]
+            )
+        assert sorted(done) == [1, 2]
+        store = ResultsWarehouse(path)
+        value = store.load("_eval_scenario_point", "shared-spec-hash")
+        assert value is not None and store.corrupt == 0
+        assert value["round"] == 19
+        assert value["marker"] in ("alpha", "beta")
+        assert len(store) == 1
+        store.close()
+
+    def test_second_sweep_process_reuses_a_cold_sweeps_rows(
+        self, tmp_path, tiny_spec
+    ):
+        """The acceptance path: a cold sweep populates the warehouse, a
+        second runner (a fresh process as far as the cache can tell)
+        replays with hits > 0 and corrupt == 0."""
+        cold = SweepRunner(workers=1, cache_dir=tmp_path)
+        (first,) = sweep_scenarios([tiny_spec], runner=cold)
+        assert (cold.hits, cold.misses) == (0, 1)
+        warm = SweepRunner(workers=1, cache_dir=tmp_path)
+        (second,) = sweep_scenarios([tiny_spec], runner=warm)
+        assert warm.hits > 0 and warm.corrupt == 0
+        assert warm.misses == 0
+        assert second == first
+
+
+class TestQueryDiffExport:
+    def test_open_warehouse_requires_an_existing_store(self, tmp_path):
+        with pytest.raises(ConfigError, match="no results warehouse"):
+            open_warehouse(tmp_path / "nowhere")
+
+    def test_resolve_metrics_validates_names(self):
+        assert resolve_metrics(None) == ["total_max", "staging_max"]
+        assert resolve_metrics(["import_s"]) == ["import_s"]
+        with pytest.raises(ConfigError, match="made_up"):
+            resolve_metrics(["made_up"])
+
+    def test_diff_flags_regressions(self):
+        old = [{"cache_key": "k", "result_key": "k", "total_max": 1.0}]
+        new = [{"cache_key": "k", "result_key": "k", "total_max": 1.2}]
+        diff = diff_rows(old, new, ["total_max"])
+        assert diff["max_regression_pct"] == pytest.approx(20.0)
+        (entry,) = diff["changed"]
+        assert entry["delta"] == pytest.approx(0.2)
+        assert diff["only_old"] == [] and diff["only_new"] == []
+
+    def test_export_document_shape(self, tmp_path, tiny_spec, tiny_report):
+        with ResultsWarehouse(tmp_path) as store:
+            store.store(
+                "_eval_scenario_point",
+                tiny_spec.spec_hash,
+                tiny_report,
+                spec_json=tiny_spec.canonical_json(),
+            )
+            document = export_document(store)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["row_count"] == 1
+        assert document["rows"][0]["result_key"] == tiny_spec.spec_hash
+        assert "payload" not in document["rows"][0]
+        json.dumps(document)  # JSON-ready end to end
+
+    def test_write_json_atomic_cleans_its_tmp_on_failure(self, tmp_path):
+        target = tmp_path / "out.json"
+        with pytest.raises(TypeError):
+            write_json_atomic(str(target), {"bad": object()})
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no leaked .tmp.<pid>
+
+
+class TestResultsCli:
+    @pytest.fixture()
+    def populated(self, tmp_path, tiny_spec):
+        cache = tmp_path / "cache"
+        runner = SweepRunner(workers=1, cache_dir=cache)
+        sweep_scenarios([tiny_spec], runner=runner)
+        return cache
+
+    def test_query_prints_stored_rows(self, populated, capsys, tiny_spec):
+        assert main(["results", "query", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "1 stored result(s)" in out
+        assert tiny_spec.spec_hash[:16] in out
+        assert "JobReport" in out
+
+    def test_query_json_and_filters(self, populated, capsys):
+        assert main(
+            ["results", "query", str(populated), "--engine", "analytic",
+             "--json"]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert main(
+            ["results", "query", str(populated), "--engine", "multirank",
+             "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_query_missing_warehouse_prints_clean_error(
+        self, tmp_path, capsys
+    ):
+        assert main(["results", "query", str(tmp_path / "void")]) == 1
+        assert "no results warehouse" in capsys.readouterr().err
+
+    def test_export_then_diff_round_trip(
+        self, populated, tmp_path, capsys
+    ):
+        out = tmp_path / "export.json"
+        assert main(
+            ["results", "export", str(populated), "--json", str(out)]
+        ) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["row_count"] == 1
+        # identical warehouses: diff passes any gate
+        assert main(
+            ["results", "diff", str(populated), str(populated),
+             "--fail-over", "0.5"]
+        ) == 0
+        assert "+0.00%" in capsys.readouterr().out
+
+    def test_job_cache_dir_lands_in_the_warehouse(self, tmp_path, capsys):
+        cache = tmp_path / "jobcache"
+        args = [
+            "job", "--tasks", "2", "--modules", "2", "--utilities", "1",
+            "--avg-functions", "4", "--cache-dir", str(cache),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["results", "query", str(cache), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1 and rows[0]["kind"] == "JobReport"
+        # second run replays from the warehouse (same spec hash)
+        assert main(args) == 0

@@ -45,6 +45,24 @@ class TestSpecValidation:
             with pytest.raises(ConfigError, match=field):
                 ScenarioSpec(**kwargs)
 
+    def test_non_finite_floats_rejected_by_name(self):
+        # NaN fails no ``<`` comparison and inf passes the one-sided
+        # bounds, so before the explicit isfinite check these poisoned
+        # the canonical hash and emitted invalid JSON.
+        for field in ("straggler_slowdown", "os_jitter_s", "warm_fraction"):
+            for value in (float("nan"), float("inf"), float("-inf")):
+                with pytest.raises(ConfigError, match=field):
+                    ScenarioSpec(engine="multirank", **{field: value})
+
+    def test_non_finite_distribution_floats_rejected_by_name(self):
+        for field in (
+            "relay_bandwidth_share",
+            "daemon_spawn_s",
+            "straggler_relay_slowdown",
+        ):
+            with pytest.raises(ConfigError, match=field):
+                DistributionSpec(**{field: float("nan")})
+
     def test_node_indices_validated_against_job_size(self):
         with pytest.raises(ConfigError, match="straggler_nodes"):
             ScenarioSpec(

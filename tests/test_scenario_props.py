@@ -14,8 +14,11 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+
+from repro.errors import ConfigError
 
 from repro.core.builds import BuildMode
 from repro.core.config import PynamicConfig
@@ -110,6 +113,49 @@ def _specs(draw):
         prelink=draw(st.booleans()),
         **extra,
     )
+
+
+#: The float knobs a spec validates for finiteness, with a finite
+#: in-range fallback for the ones hypothesis leaves finite.
+_FLOAT_KNOBS = ("straggler_slowdown", "os_jitter_s", "warm_fraction")
+
+_non_finite = st.sampled_from(
+    [float("nan"), float("inf"), float("-inf")]
+)
+
+
+@_settings
+@given(field=st.sampled_from(_FLOAT_KNOBS), value=_non_finite)
+def test_non_finite_float_knobs_never_build_a_spec(field, value):
+    """NaN/inf must raise ConfigError naming the field — never reach
+    the canonical hash (NaN fails every ``<`` bound, inf passes the
+    one-sided ones)."""
+    with pytest.raises(ConfigError, match=field):
+        ScenarioSpec(engine="multirank", **{field: value})
+
+
+@_settings
+@given(
+    field=st.sampled_from(
+        ("relay_bandwidth_share", "daemon_spawn_s", "straggler_relay_slowdown")
+    ),
+    value=_non_finite,
+)
+def test_non_finite_distribution_knobs_never_build_a_spec(field, value):
+    with pytest.raises(ConfigError, match=field):
+        DistributionSpec(**{field: value})
+
+
+@_settings
+@given(_specs())
+def test_every_canonical_json_is_strictly_valid_json(spec):
+    """``json.loads`` with a NaN/Infinity-rejecting hook: the canonical
+    text must never contain the non-standard tokens."""
+
+    def _reject(token):
+        raise AssertionError(f"non-standard JSON token {token!r} emitted")
+
+    json.loads(spec.canonical_json(), parse_constant=_reject)
 
 
 @_settings
