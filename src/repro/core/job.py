@@ -35,6 +35,7 @@ from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
 from repro.machine.cluster import Cluster
 from repro.machine.osprofile import OsProfile
+from repro.machine.scheduler import EngineStats
 
 #: Valid values of the ``engine`` knob.
 ENGINES = ("analytic", "multirank")
@@ -72,6 +73,11 @@ class JobReport:
     #: Per-node staging-completion seconds when a distribution overlay
     #: ran (when node i held the full DLL set; multi-rank engine only).
     staging_per_node: list[float] | None = field(default=None, repr=False)
+    #: Engine-internals counters (multi-rank engine only): scheduler
+    #: steps, coalesced rank accounting, reservation-timeline sizes.
+    #: ``None`` on the analytic path and on reports unpickled from rows
+    #: written before the field existed (the class default covers them).
+    engine_stats: EngineStats | None = field(default=None, repr=False)
 
     def _values(self, attr: str) -> list[float]:
         reports = self.per_rank if self.per_rank else [self.rank0]

@@ -38,7 +38,12 @@ from repro.machine.context import ExecutionContext
 from repro.machine.costs import CostModel
 from repro.machine.node import Node, TimedReadNode
 from repro.machine.osprofile import OsProfile, linux_chaos
-from repro.machine.scheduler import EventScheduler, RankTask, SteppedProgram
+from repro.machine.scheduler import (
+    EngineStats,
+    EventScheduler,
+    RankTask,
+    SteppedProgram,
+)
 from repro.mpi.api import MpiSession
 from repro.mpi.network import NetworkModel
 from repro.perf.timers import PhaseTimer
@@ -214,7 +219,7 @@ class MultiRankJob:
 
     Startup interleaves per shared object (the stepped linker), imports
     and visits per module.  ``batch_homogeneous=True`` (default) enables
-    two representative-rank fast paths:
+    representative-rank fast paths:
 
     - a warm, zero-heterogeneity job simulates *one* rank and replicates
       its report (``self.batched``) — warm sweeps past 1k ranks cost a
@@ -224,7 +229,13 @@ class MultiRankJob:
       for the remaining co-resident ranks (``self.cold_batched``) — the
       redundant buffer-cache-hit ranks that used to make >1k-rank cold
       jobs intractable are replicated, not simulated, while every
-      node-to-NFS interaction is still played out.
+      node-to-NFS interaction is still played out;
+    - more generally, any job whose only active heterogeneity knobs are
+      per-*node* (stragglers, warm mixes, per-node OS profiles — i.e.
+      ``os_jitter_s == 0``, the one per-rank knob) coalesces each node's
+      co-resident ranks into representative tasks carrying a
+      multiplicity count (``self.coalesced``); see :meth:`_plan_ranks`
+      for which collapses are exact and which approximate.
 
     ``distribution`` (a :class:`repro.dist.topology.DistributionSpec`)
     stages the DLL set through the library-distribution overlay before
@@ -301,6 +312,10 @@ class MultiRankJob:
         self.batched = False
         #: True once :meth:`run` batched cold co-resident cache-hit ranks.
         self.cold_batched = False
+        #: True once :meth:`run` collapsed any co-resident lockstep ranks
+        #: into a representative task with a multiplicity count (covers
+        #: the cold-batch case *and* per-node heterogeneous jobs).
+        self.coalesced = False
         #: Ranks actually driven by the last :meth:`run`.
         self.n_simulated = 0
         #: The overlay's staging plan (when a distribution ran).
@@ -315,36 +330,76 @@ class MultiRankJob:
         first = node_index * self.cores_per_node
         return range(first, min(self.n_tasks, first + self.cores_per_node))
 
-    def _plan_ranks(self) -> tuple[list[int], dict[int, int]]:
+    def _plan_ranks(
+        self, warm_nodes: "list[int] | None" = None
+    ) -> tuple[list[int], dict[int, int]]:
         """Which ranks to simulate, and each rank's representative.
 
         Returns ``(simulated, representative)`` where ``representative``
         maps *every* rank to the simulated rank whose report it shares
         (itself for simulated ranks).
+
+        Beyond the fully-homogeneous fast paths, co-resident ranks
+        coalesce per node whenever no *per-rank* knob is active: launch
+        jitter (``os_jitter_s``) is the only knob drawn per rank — the
+        straggler, warm-mix and OS-profile knobs all apply per *node*.
+        Two distinct collapses happen:
+
+        - **Warm nodes — exact.**  Every read hits the node's resident
+          cache, so co-resident ranks touch no shared queue and their
+          trajectories are provably identical (lockstep); one
+          representative reproduces the unbatched run bit-for-bit
+          (``tests/test_coalescing.py`` pins this, stragglers included).
+        - **Cold nodes — the conservative cold-batch approximation.**
+          The collapsed run charges *all* of a node's demand faults to
+          its first toucher while the hitter representative rides the
+          cache.  An unbatched run instead lets cache-hit ranks run
+          ahead in virtual time and fault later pages themselves,
+          spreading the NFS load (fault parallelism a real node would
+          show too).  Collapsing serializes those faults, so it bounds
+          the job from above — measured 5-10% over the unbatched
+          makespan on small cold jobs — which is the pre-existing
+          ``cold_batched`` default the golden pins encode.
+
+        Each collapsed group is simulated once and carries its size as
+        the task's multiplicity.
         """
-        homogeneous = self.batch_homogeneous and self.scenario.is_homogeneous
+        scenario = self.scenario
+        homogeneous = self.batch_homogeneous and scenario.is_homogeneous
         if homogeneous and self.warm_file_cache and self.n_tasks > 1:
             # Warm fast path: all reads hit the node caches, ranks are
             # fully decoupled and identical — one representative total.
             self.batched = True
             return [0], {rank: 0 for rank in range(self.n_tasks)}
-        if homogeneous and not self.warm_file_cache:
-            # Cold fast path: per node, the first toucher faults the DLL
-            # set in from shared storage; co-resident ranks hit the node
-            # buffer cache and are identical — simulate one of them.
+        if self.batch_homogeneous and scenario.os_jitter_s == 0.0:
+            # Per-node lockstep coalescing.  On a warm node every rank
+            # hits the cache — one representative; on a cold node the
+            # first toucher faults the DLL set in from shared storage
+            # and the co-resident ranks hit the node buffer cache —
+            # simulate the toucher plus one cache-hit representative.
+            warm = (
+                set(range(self.n_nodes))
+                if self.warm_file_cache
+                else set(warm_nodes or ())
+            )
             simulated: list[int] = []
             representative: dict[int, int] = {}
             for node_index in range(self.n_nodes):
                 ranks = self._node_ranks(node_index)
-                toucher = ranks[0]
-                simulated.append(toucher)
-                representative[toucher] = toucher
-                if len(ranks) > 1:
+                first = ranks[0]
+                simulated.append(first)
+                representative[first] = first
+                if node_index in warm:
+                    for rank in ranks[1:]:
+                        representative[rank] = first
+                elif len(ranks) > 1:
                     hitter = ranks[1]
                     simulated.append(hitter)
                     for rank in ranks[1:]:
                         representative[rank] = hitter
-            self.cold_batched = len(simulated) < self.n_tasks
+            self.coalesced = len(simulated) < self.n_tasks
+            if homogeneous and not self.warm_file_cache:
+                self.cold_batched = self.coalesced
             return simulated, representative
         ranks = list(range(self.n_tasks))
         return ranks, {rank: rank for rank in ranks}
@@ -384,12 +439,23 @@ class MultiRankJob:
         self._drivers = {}
         self.batched = False
         self.cold_batched = False
-        simulated, representative = self._plan_ranks()
+        self.coalesced = False
+        # The warm-node set is drawn once (forks are pure, so the draw is
+        # identical wherever it happens) and shared by the rank plan and
+        # the cache warmer.
+        warm_nodes = self._warm_nodes(rng)
+        simulated, representative = self._plan_ranks(warm_nodes)
         self.n_simulated = len(simulated)
+        # Each simulated rank's multiplicity: how many ranks share its
+        # report (1 + its coalesced replicas).
+        multiplicity = {rank: 0 for rank in simulated}
+        for rep in representative.values():
+            multiplicity[rep] += 1
         # Only the representative's node needs its cache warmed on the
         # warm fast path, keeping it O(1) in the node count too.
         self._warm_caches(
-            cluster, build, rng, node_indices=[0] if self.batched else None
+            cluster, build, rng,
+            node_indices=[0] if self.batched else warm_nodes,
         )
         plan = self._stage_distribution(cluster, build)
         self.staging_plan = plan
@@ -413,9 +479,11 @@ class MultiRankJob:
                         rank, rank_node, build, profile, rng, router
                     ),
                     now=lambda clock=rank_node.clock: clock.seconds,
+                    multiplicity=multiplicity[rank],
                 )
             )
-        EventScheduler().run(tasks)
+        scheduler = EventScheduler()
+        scheduler.run(tasks)
         mpi_per_rank = self._mpi_phase(cluster, simulated)
         reports = {
             rank: self._drivers[rank].final_report(mpi_s=mpi_per_rank[rank])
@@ -429,6 +497,8 @@ class MultiRankJob:
         distribution_label = (
             self.distribution.label if self.distribution is not None else "none"
         )
+        nfs_windows, nfs_bookings = cluster.nfs.timeline_stats()
+        pfs_windows, pfs_bookings = cluster.pfs.timeline_stats()
         return JobReport(
             n_tasks=self.n_tasks,
             n_nodes=self.n_nodes,
@@ -439,6 +509,16 @@ class MultiRankJob:
             distribution=distribution_label,
             staging_per_node=(
                 list(plan.per_node_done_s) if plan is not None else None
+            ),
+            engine_stats=EngineStats(
+                scheduler_steps=scheduler.steps_run,
+                tasks_completed=scheduler.tasks_completed,
+                ranks_simulated=self.n_simulated,
+                ranks_coalesced=self.n_tasks - self.n_simulated,
+                nfs_timeline_windows=nfs_windows,
+                nfs_timeline_bookings=nfs_bookings,
+                pfs_timeline_windows=pfs_windows,
+                pfs_timeline_bookings=pfs_bookings,
             ),
         )
 

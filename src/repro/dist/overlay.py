@@ -37,13 +37,14 @@ relay sends and zero source reads.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Generator, Iterable, Iterator, Sequence
 
 from repro.dist.topology import DistributionSpec, Topology, children_map
 from repro.errors import ConfigError, DistributionError
 from repro.fs.files import FileImage
-from repro.fs.reservation import reserve
+from repro.fs.reservation import ReservationTimeline
 from repro.machine.cluster import Cluster
 from repro.machine.node import TimedReadNode
 from repro.machine.scheduler import (
@@ -152,7 +153,7 @@ class RelayDaemon(SteppedProgram):
         self.landed: dict[str, float] = {}
         #: path -> bytes received so far (chunked transfers in flight).
         self._received_bytes: dict[str, int] = {}
-        self._egress: list[tuple[float, float]] = []
+        self._egress = ReservationTimeline()
         self.relay_sends = 0
         self.source_reads = 0
         self.completed = False
@@ -174,12 +175,13 @@ class RelayDaemon(SteppedProgram):
         independent of the order the scheduler happens to interleave
         resumptions in.
         """
-        clock = self.node.clock.seconds
+        clock = self.node.clock
+        seconds = clock.cycles / float(clock.frequency_hz)
         if not self._blocked:
-            return clock
+            return seconds
         head = self.inbox.peek_arrival()
         if head is not None:
-            return max(clock, head)
+            return max(seconds, head)
         return float("inf")
 
     def steps(self) -> Generator[None, None, None]:
@@ -243,35 +245,69 @@ class RelayDaemon(SteppedProgram):
             )
         # Warm images were landed before this loop, so only the cold
         # remainder is awaited — the parent skips sending anything else.
-        while len(self.landed) < len(self.images):
-            message = self.inbox.receive()
+        # All currently queued messages drain in one step: chunks are
+        # processed in arrival order and clocks advance to the *recorded*
+        # arrival times either way, so batching changes only how often
+        # the scheduler re-heapifies this daemon, not any outcome.
+        #
+        # This loop runs once per received chunk across the whole overlay
+        # — the engine's single hottest path — so the clock arithmetic
+        # and the cut-through forward are inlined rather than calling
+        # ``SimClock.advance_to_seconds`` / ``_send_chunk``.  Every
+        # expression matches those methods' float arithmetic exactly.
+        landed, images = self.landed, self.images
+        n_images = len(images)
+        received_bytes = self._received_bytes
+        clock = self.node.clock
+        frequency = float(clock.frequency_hz)
+        ceil = math.ceil
+        install = self.node.buffer_cache.install
+        receive = self.inbox.receive
+        pipelined = self.pipelined
+        children = self.children
+        latency = self.network_latency_s
+        bandwidth = self.egress_bandwidth_bps
+        egress_reserve = self._egress.reserve
+        while len(landed) < n_images:
+            message = receive()
             if message is None:
                 if self.parent.completed:
                     raise DistributionError(
                         f"node {self.index} still waits for "
-                        f"{len(self.images) - len(self.landed)} images but "
+                        f"{n_images - len(landed)} images but "
                         f"its parent {self.parent.index} has finished"
                     )
                 self._blocked = True
                 yield
                 continue
             self._blocked = False
-            arrival, chunk = message
-            assert isinstance(chunk, RelayChunk)
-            self.node.clock.advance_to_seconds(arrival)
-            image = chunk.image
-            self.node.buffer_cache.install(image, chunk.offset, chunk.size)
-            received = self._received_bytes.get(image.path, 0) + chunk.size
-            self._received_bytes[image.path] = received
-            if received >= image.size_bytes:
-                self.landed[image.path] = self.node.clock.seconds
-            if self.pipelined:
-                # Cut-through: forward the chunk before the rest of the
-                # image has even arrived.
-                for child in self.children:
-                    if image.path in child.warm_paths:
-                        continue
-                    self._send_chunk(child, chunk, synchronous=False)
+            while message is not None:
+                arrival, chunk = message
+                cycles = ceil(arrival * frequency)
+                if cycles > clock.cycles:
+                    clock.cycles = cycles
+                image = chunk.image
+                size = chunk.size
+                install(image, chunk.offset, size)
+                path = image.path
+                received = received_bytes.get(path, 0) + size
+                received_bytes[path] = received
+                if received >= image.size_bytes:
+                    landed[path] = clock.cycles / frequency
+                if pipelined and children:
+                    # Cut-through: forward the chunk before the rest of
+                    # the image has even arrived.
+                    now_s = clock.cycles / frequency
+                    service = latency + size / bandwidth
+                    for child in children:
+                        if path in child.warm_paths:
+                            continue
+                        end = egress_reserve(now_s, service) + service
+                        child.inbox.deliver(end, chunk)
+                        self.relay_sends += 1
+                if len(landed) >= n_images:
+                    break
+                message = receive()
             yield
 
     def _relay_image(self, image: FileImage) -> Generator[None, None, None]:
@@ -315,7 +351,7 @@ class RelayDaemon(SteppedProgram):
         service = self.network_latency_s + (
             chunk.size / self.egress_bandwidth_bps
         )
-        begin = reserve(self._egress, self.node.clock.seconds, service)
+        begin = self._egress.reserve(self.node.clock.seconds, service)
         end = begin + service
         if synchronous:
             self.node.clock.advance_to_seconds(end)

@@ -6,16 +6,28 @@ DLLs into the disk cache of each node".  The cache here is page-granular
 LRU: a read first partitions its page range into resident and missing
 pages, charges missing pages to the file's backing file system, and serves
 resident pages at memory-copy bandwidth.
+
+Internals: resident pages live in one insertion-ordered ``dict`` (oldest
+first — a plain dict is an LRU when touching re-inserts and eviction pops
+the first key), keyed by a single integer ``path_base + page_index``
+where each distinct path gets a ``path_base`` of ``id << _PAGE_BITS``.
+Integer keys matter at scale: a thousand-node cluster holds tens of
+millions of resident pages, and unlike ``(path, page)`` tuples, ints are
+invisible to the cyclic garbage collector and a page span is just a
+``range`` — no per-page allocation at all on the hot paths.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Callable
 
 from repro.errors import ConfigError
 from repro.fs.files import FileImage
 from repro.units import GIB
+
+#: Bits reserved for the page index inside a key (4 KiB pages -> files up
+#: to 2^40 pages = 4 PiB before path bases could collide).
+_PAGE_BITS = 40
 
 
 class BufferCache:
@@ -36,10 +48,22 @@ class BufferCache:
         self.page_bytes = page_bytes
         self.hit_bandwidth_bps = hit_bandwidth_bps
         self.hit_latency_s = hit_latency_s
-        # Maps (path, page_index) -> None in LRU order (oldest first).
-        self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
+        # Maps (path_base + page_index) -> None in LRU order (oldest
+        # first); see the module docstring for the key scheme.
+        self._pages: dict[int, None] = {}
+        # path -> path_base (already shifted by _PAGE_BITS).
+        self._path_bases: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
+
+    def _path_base(self, path: str) -> int:
+        """The key base for ``path``, allocated on first use."""
+        bases = self._path_bases
+        base = bases.get(path)
+        if base is None:
+            base = len(bases) << _PAGE_BITS
+            bases[path] = base
+        return base
 
     def _page_range(self, offset: int, size: int) -> range:
         first = offset // self.page_bytes
@@ -81,18 +105,51 @@ class BufferCache:
                 f"read of {offset}+{size} outside {image.path!r} "
                 f"({image.size_bytes} bytes)"
             )
+        pages = self._pages
+        page_bytes = self.page_bytes
+        base = self._path_base(image.path)
+        first = offset // page_bytes
+        last = (offset + size - 1) // page_bytes
+        n_range = last - first + 1
+        keys = range(base + first, base + last + 1)
         missing_pages = 0
-        for page in self._page_range(offset, size):
-            key = (image.path, page)
-            if key in self._pages:
-                self._pages.move_to_end(key)
-                self.hits += 1
+        if len(pages) + n_range <= self.capacity_pages:
+            # Eviction-free fast path (the overwhelmingly common case:
+            # node caches hold the whole working set): counters and LRU
+            # order come out identical to the general loop below, so
+            # this is a speedup, not a model change.  Spans that are
+            # entirely missing or entirely resident — nearly every read
+            # in practice — run at C speed.
+            contains = pages.__contains__
+            if not any(map(contains, keys)):
+                pages.update(dict.fromkeys(keys))
+                missing_pages = n_range
+            elif all(map(contains, keys)):
+                for key in keys:  # LRU touch: re-insert at the tail
+                    del pages[key]
+                    pages[key] = None
             else:
-                self.misses += 1
-                missing_pages += 1
-                self._pages[key] = None
-                if len(self._pages) > self.capacity_pages:
-                    self._pages.popitem(last=False)
+                for key in keys:
+                    if contains(key):
+                        del pages[key]
+                        pages[key] = None
+                    else:
+                        missing_pages += 1
+                        pages[key] = None
+            self.hits += n_range - missing_pages
+            self.misses += missing_pages
+        else:
+            for key in keys:
+                if key in pages:
+                    del pages[key]
+                    pages[key] = None
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                    missing_pages += 1
+                    pages[key] = None
+                    if len(pages) > self.capacity_pages:
+                        del pages[next(iter(pages))]  # evict the oldest
         seconds = self.hit_latency_s + size / self.hit_bandwidth_bps
         if missing_pages:
             seconds += fetch(missing_pages * self.page_bytes, 1)
@@ -116,16 +173,42 @@ class BufferCache:
                 f"install of {offset}+{size} outside {image.path!r} "
                 f"({image.size_bytes} bytes)"
             )
+        pages = self._pages
+        page_bytes = self.page_bytes
+        base = self._path_base(image.path)
+        first = offset // page_bytes
+        last = (offset + size - 1) // page_bytes
+        n_range = last - first + 1
+        keys = range(base + first, base + last + 1)
         installed = 0
-        for page in self._page_range(offset, size):
-            key = (image.path, page)
-            if key in self._pages:
-                self._pages.move_to_end(key)
-                continue
-            installed += 1
-            self._pages[key] = None
-            if len(self._pages) > self.capacity_pages:
-                self._pages.popitem(last=False)
+        if len(pages) + n_range <= self.capacity_pages:
+            # Eviction-free fast path; see read_with.
+            contains = pages.__contains__
+            if not any(map(contains, keys)):
+                pages.update(dict.fromkeys(keys))
+                installed = n_range
+            elif all(map(contains, keys)):
+                for key in keys:
+                    del pages[key]
+                    pages[key] = None
+            else:
+                for key in keys:
+                    if contains(key):
+                        del pages[key]
+                        pages[key] = None
+                    else:
+                        installed += 1
+                        pages[key] = None
+        else:
+            for key in keys:
+                if key in pages:
+                    del pages[key]
+                    pages[key] = None
+                    continue
+                installed += 1
+                pages[key] = None
+                if len(pages) > self.capacity_pages:
+                    del pages[next(iter(pages))]  # evict the oldest
         return installed
 
     def contains(self, image: FileImage, offset: int = 0, size: int | None = None) -> bool:
@@ -134,10 +217,14 @@ class BufferCache:
             size = image.size_bytes - offset
         if size == 0:
             return True
-        return all(
-            (image.path, page) in self._pages
-            for page in self._page_range(offset, size)
-        )
+        base = self._path_bases.get(image.path)
+        if base is None:
+            return False
+        pages = self._pages
+        for page in self._page_range(offset, size):
+            if base + page not in pages:
+                return False
+        return True
 
     def resident_bytes(self) -> int:
         """Bytes currently cached."""

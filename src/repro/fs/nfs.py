@@ -11,7 +11,7 @@ server-side concurrency cap beyond which requests simply queue).
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.fs.reservation import reserve, reserve_ops
+from repro.fs.reservation import ReservationTimeline
 
 
 class NFSServer:
@@ -42,10 +42,10 @@ class NFSServer:
         #: Disjoint, sorted (start, end) windows during which the server
         #: pipe is transferring — state of the timed queueing interface
         #: used by the multi-rank engine (:meth:`request_at`).
-        self._reservations: list[tuple[float, float]] = []
+        self._reservations = ReservationTimeline()
         #: Windows during which the server's RPC machinery is occupied
         #: (the IOPS-saturation term for request-heavy small reads).
-        self._op_reservations: list[tuple[float, float]] = []
+        self._op_reservations = ReservationTimeline()
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -76,8 +76,15 @@ class NFSServer:
     # -- timed queueing interface (multi-rank engine) ---------------------
     def reset_queue(self) -> None:
         """Forget queued work — call once per simulated job."""
-        self._reservations = []
-        self._op_reservations = []
+        self._reservations = ReservationTimeline()
+        self._op_reservations = ReservationTimeline()
+
+    def timeline_stats(self) -> tuple[int, int]:
+        """``(stored_windows, total_bookings)`` over the queue timelines."""
+        return (
+            len(self._reservations) + len(self._op_reservations),
+            self._reservations.bookings + self._op_reservations.bookings,
+        )
 
     def request_at(self, start_s: float, n_bytes: int, n_ops: int = 1) -> float:
         """A read request arriving at virtual time ``start_s``; returns its
@@ -105,11 +112,11 @@ class NFSServer:
             raise ConfigError(f"negative request time: {start_s}")
         self.bytes_served += n_bytes
         self.requests_served += n_ops
-        queue_delay = reserve_ops(
-            self._op_reservations, start_s, n_ops, self.iops_limit
+        queue_delay = self._op_reservations.reserve_ops(
+            start_s, n_ops, self.iops_limit
         )
         arrival = start_s + queue_delay + n_ops * self.latency_s
         service = n_bytes / self.bandwidth_bps
         if service <= 0.0:
             return arrival
-        return reserve(self._reservations, arrival, service) + service
+        return self._reservations.reserve(arrival, service) + service

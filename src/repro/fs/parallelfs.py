@@ -10,7 +10,7 @@ scalability experiment (DESIGN.md S3).
 from __future__ import annotations
 
 from repro.errors import ConfigError
-from repro.fs.reservation import book, earliest_gap, reserve_ops
+from repro.fs.reservation import ReservationTimeline
 
 
 class ParallelFileSystem:
@@ -41,13 +41,13 @@ class ParallelFileSystem:
         self.requests_served = 0
         #: Per-target disjoint, sorted (start, end) transfer windows for
         #: the timed queueing interface (:meth:`request_at`).
-        self._target_reservations: list[list[tuple[float, float]]] = [
-            [] for _ in range(n_targets)
+        self._target_reservations: list[ReservationTimeline] = [
+            ReservationTimeline() for _ in range(n_targets)
         ]
         #: Windows during which the file system's RPC machinery is
         #: occupied (shared across targets — the metadata path is one
         #: service even on a striped store).
-        self._op_reservations: list[tuple[float, float]] = []
+        self._op_reservations = ReservationTimeline()
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -77,8 +77,19 @@ class ParallelFileSystem:
     # -- timed queueing interface (multi-rank engine) ---------------------
     def reset_queue(self) -> None:
         """Forget queued work — call once per simulated job."""
-        self._target_reservations = [[] for _ in range(self.n_targets)]
-        self._op_reservations = []
+        self._target_reservations = [
+            ReservationTimeline() for _ in range(self.n_targets)
+        ]
+        self._op_reservations = ReservationTimeline()
+
+    def timeline_stats(self) -> tuple[int, int]:
+        """``(stored_windows, total_bookings)`` over the queue timelines."""
+        windows = len(self._op_reservations)
+        bookings = self._op_reservations.bookings
+        for timeline in self._target_reservations:
+            windows += len(timeline)
+            bookings += timeline.bookings
+        return windows, bookings
 
     def request_at(self, start_s: float, n_bytes: int, n_ops: int = 1) -> float:
         """A read arriving at ``start_s``; returns its completion time.
@@ -97,18 +108,18 @@ class ParallelFileSystem:
         self.bytes_served += n_bytes
         self.requests_served += n_ops
         per_target = self.aggregate_bandwidth_bps / self.n_targets
-        queue_delay = reserve_ops(
-            self._op_reservations, start_s, n_ops, self.iops_limit
+        queue_delay = self._op_reservations.reserve_ops(
+            start_s, n_ops, self.iops_limit
         )
         arrival = start_s + queue_delay + n_ops * self.latency_s
         service = n_bytes / per_target
         if service <= 0.0:
             return arrival
         begins = [
-            earliest_gap(reservations, arrival, service)
-            for reservations in self._target_reservations
+            timeline.earliest_gap(arrival, service)
+            for timeline in self._target_reservations
         ]
         target = min(range(self.n_targets), key=begins.__getitem__)
         begin = begins[target]
-        book(self._target_reservations[target], begin, service)
+        self._target_reservations[target].book(begin, service)
         return begin + service

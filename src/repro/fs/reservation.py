@@ -1,18 +1,262 @@
 """Earliest-gap reservation of a serial resource's timeline.
 
 Shared by the timed queueing interfaces of :class:`NFSServer` (one
-full-bandwidth pipe) and :class:`ParallelFileSystem` (one timeline per
-storage target).  A reservation list is a sorted sequence of disjoint
-``(start, end)`` windows during which the resource is transferring; a
-new request books the earliest free window at or after its arrival —
-possibly in the "past" of the latest booking, which keeps the outcome
-independent of the order a coarse-grained scheduler issues requests in.
+full-bandwidth pipe), :class:`ParallelFileSystem` (one timeline per
+storage target) and the distribution overlay's per-node egress links.  A
+reservation timeline is a sorted sequence of disjoint ``(start, end)``
+windows during which the resource is transferring; a new request books
+the earliest free window at or after its arrival — possibly in the
+"past" of the latest booking, which keeps the outcome independent of the
+order a coarse-grained scheduler issues requests in.
+
+Two implementations coexist:
+
+- :class:`ReservationTimeline` — the engine's hot-path structure.
+  Booking bisects on the window starts (with an O(1) tail-append fast
+  path for the overwhelmingly common in-order case), windows that abut
+  within a float epsilon merge so long cold runs cannot accumulate
+  thousands of zero-width slivers, and a maintained largest-free-gap
+  suffix lets :meth:`earliest_gap` skip regions with no fitting hole
+  instead of walking them.
+- the ``legacy_*`` functions — the original O(n)-per-op list
+  implementation, kept verbatim as the semantic reference: the
+  hypothesis property suite pins the timeline against it and the
+  ``perf/`` microbenchmarks report the speedup over it.
+
+The module-level :func:`earliest_gap`, :func:`book`, :func:`reserve` and
+:func:`reserve_ops` keep their original signatures and accept either a
+:class:`ReservationTimeline` or a plain ``list[tuple[float, float]]``
+(the fallback path, itself upgraded to bisect placement and epsilon
+merging), so every consumer works unchanged.
+
+The epsilon merge is observation-free by construction: two windows only
+merge when the hole between them is at most ``merge_eps`` (default
+1e-12 s), while every service time in the simulation is bounded below by
+a physical constant orders of magnitude larger (one byte at NFS
+bandwidth is ~4e-8 s; one RPC at the IOPS cap is 1e-5 s) — no booking
+could ever have landed in the hole a merge erases, so merged and
+unmerged timelines return bit-identical gap placements.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from math import ulp
 
-def earliest_gap(
+#: Largest hole (seconds) that adjacent windows close over when merging.
+#: Far below any service time the simulation can produce (see module
+#: docstring), so merging never changes a booking decision.
+DEFAULT_MERGE_EPS = 1e-12
+
+
+class ReservationTimeline:
+    """Sorted disjoint busy windows with O(log n) earliest-gap booking.
+
+    The structure keeps three parallel lists: window starts, window ends
+    and a suffix maximum of the free holes *after* each window
+    (``_suffix[i]`` = the widest hole between consecutive windows at
+    index >= i; the unbounded space after the last window is handled
+    separately).  ``earliest_gap`` bisects to the first window that can
+    constrain the request, then walks forward — but any region whose
+    suffix maximum cannot fit the request is skipped in one hop to the
+    tail, so a request too large for every interior hole resolves in
+    O(log n) regardless of timeline length.
+
+    The suffix is maintained incrementally: a tail append touches it
+    only while the new hole exceeds existing maxima, and an interior
+    booking (which can only *shrink* holes) repairs it backward until
+    the stored values stabilize.
+    """
+
+    __slots__ = ("_starts", "_ends", "_suffix", "merge_eps", "bookings")
+
+    def __init__(self, merge_eps: float = DEFAULT_MERGE_EPS) -> None:
+        if merge_eps < 0.0:
+            raise ValueError(f"merge_eps must be >= 0, got {merge_eps}")
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+        #: _suffix[i] = max(starts[j+1] - ends[j] for j in i..n-2), 0.0
+        #: when no interior hole follows window i.
+        self._suffix: list[float] = []
+        self.merge_eps = merge_eps
+        #: Total windows ever booked (merges collapse storage, not this).
+        self.bookings = 0
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        """Stored (post-merge) window count."""
+        return len(self._starts)
+
+    @property
+    def windows(self) -> list[tuple[float, float]]:
+        """The stored windows as ``(start, end)`` tuples (a copy)."""
+        return list(zip(self._starts, self._ends))
+
+    @property
+    def horizon_s(self) -> float:
+        """End of the latest booked window (0.0 when empty)."""
+        return self._ends[-1] if self._ends else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReservationTimeline({len(self._starts)} windows, "
+            f"{self.bookings} bookings, horizon {self.horizon_s:.6f}s)"
+        )
+
+    # -- queries -------------------------------------------------------
+    def earliest_gap(self, arrival: float, service: float) -> float:
+        """Earliest start >= ``arrival`` of a free ``service``-long hole.
+
+        Bit-identical to :func:`legacy_earliest_gap` over the same
+        windows: the fit test is the same ``begin + service <= start``
+        float comparison, and the suffix skip only prunes regions where
+        that test could not succeed even under worst-case rounding (the
+        threshold carries a 4-ulp guard).
+        """
+        ends = self._ends
+        n = len(ends)
+        if n == 0:
+            return arrival
+        last_end = ends[n - 1]
+        if arrival >= last_end:
+            return arrival
+        starts = self._starts
+        i = bisect_right(ends, arrival)
+        # The hole between the arrival and the first constraining window.
+        if arrival + service <= starts[i]:
+            return arrival
+        suffix = self._suffix
+        # Conservative prune threshold: skipping is only allowed when no
+        # interior hole could pass the exact fit test even with float
+        # slop, so pruned and unpruned walks return identical results.
+        guard = service - 4.0 * ulp(last_end)
+        begin = ends[i]
+        while i < n - 1:
+            if suffix[i] < guard:
+                return last_end
+            if begin + service <= starts[i + 1]:
+                return begin
+            i += 1
+            begin = ends[i]
+        return begin
+
+    # -- mutation ------------------------------------------------------
+    def book(self, begin: float, service: float) -> None:
+        """Insert a ``(begin, begin + service)`` busy window.
+
+        The caller guarantees the window does not overlap an existing
+        one (it came from :meth:`earliest_gap`, which only returns free
+        holes).  Windows separated from a neighbour by at most
+        ``merge_eps`` fuse with it.
+        """
+        end = begin + service
+        self.bookings += 1
+        starts, ends = self._starts, self._ends
+        n = len(starts)
+        eps = self.merge_eps
+        # Tail fast path: the overwhelmingly common in-order booking.
+        if n == 0:
+            starts.append(begin)
+            ends.append(end)
+            self._suffix.append(0.0)
+            return
+        last_end = ends[n - 1]
+        if begin >= last_end:
+            if begin - last_end <= eps:
+                ends[n - 1] = end  # extend the tail window in place
+                return
+            starts.append(begin)
+            ends.append(end)
+            self._suffix.append(0.0)
+            self._repair_suffix(n - 1)
+            return
+        i = bisect_right(starts, begin)
+        # Window i-1 ends at or before `begin`; window i starts after it.
+        left = i > 0 and begin - ends[i - 1] <= eps
+        right = i < n and starts[i] - end <= eps
+        if left and right:
+            ends[i - 1] = ends[i]
+            del starts[i], ends[i], self._suffix[i]
+            self._repair_suffix(i - 1)
+        elif left:
+            ends[i - 1] = end
+            self._repair_suffix(i - 1)
+        elif right:
+            starts[i] = begin
+            self._repair_suffix(i - 1)
+        else:
+            starts.insert(i, begin)
+            ends.insert(i, end)
+            self._suffix.insert(i, 0.0)
+            self._repair_suffix(i)
+
+    def reserve(self, arrival: float, service: float) -> float:
+        """Book the earliest free window; returns its start time."""
+        begin = self.earliest_gap(arrival, service)
+        self.book(begin, service)
+        return begin
+
+    def reserve_ops(
+        self, arrival: float, n_ops: int, iops_limit: float | None
+    ) -> float:
+        """Queueing delay before ``n_ops`` more RPCs can be accepted.
+
+        See :func:`reserve_ops` for the model; this is its timeline
+        method form.
+        """
+        if iops_limit is None or n_ops <= 0:
+            return 0.0
+        service = n_ops / iops_limit
+        return self.reserve(arrival, service) - arrival
+
+    # -- internals -----------------------------------------------------
+    def _repair_suffix(self, index: int) -> None:
+        """Re-establish the suffix-max invariant from ``index`` down.
+
+        Walks toward the front recomputing ``_suffix[j] = max(hole(j),
+        _suffix[j+1])`` and stops at the first entry whose stored value
+        is already correct — every earlier entry is then correct too,
+        because holes at other positions were untouched.
+        """
+        starts, ends, suffix = self._starts, self._ends, self._suffix
+        n = len(starts)
+        if index >= n:  # the mutated window was the last: nothing after
+            return
+        following = suffix[index + 1] if index + 1 < n else 0.0
+        j = index
+        while j >= 0:
+            if j + 1 < n:
+                hole = starts[j + 1] - ends[j]
+                value = hole if hole > following else following
+            else:
+                value = 0.0
+            if suffix[j] == value:
+                return
+            suffix[j] = value
+            following = value
+            j -= 1
+
+    def _check_invariants(self) -> None:
+        """Assert structural invariants (test/debug hook, not hot path)."""
+        starts, ends, suffix = self._starts, self._ends, self._suffix
+        n = len(starts)
+        assert len(ends) == n and len(suffix) == n
+        for j in range(n):
+            assert starts[j] < ends[j], f"empty window at {j}"
+            if j + 1 < n:
+                assert ends[j] < starts[j + 1], f"overlap/abut at {j}"
+            expected = max(
+                (starts[k + 1] - ends[k] for k in range(j, n - 1)),
+                default=0.0,
+            )
+            assert suffix[j] == expected, f"stale suffix at {j}"
+
+
+# ---------------------------------------------------------------------
+# The legacy O(n) list implementation, kept verbatim as the semantic
+# reference for the property suite and the perf baseline.
+# ---------------------------------------------------------------------
+def legacy_earliest_gap(
     reservations: list[tuple[float, float]], arrival: float, service: float
 ) -> float:
     """Earliest start >= ``arrival`` of a free ``service``-long window."""
@@ -25,7 +269,7 @@ def earliest_gap(
     return begin
 
 
-def book(
+def legacy_book(
     reservations: list[tuple[float, float]], begin: float, service: float
 ) -> None:
     """Insert a (begin, begin + service) window, keeping the list sorted."""
@@ -36,17 +280,84 @@ def book(
     reservations.append((begin, begin + service))
 
 
-def reserve(
+def legacy_reserve(
     reservations: list[tuple[float, float]], arrival: float, service: float
 ) -> float:
     """Book the earliest free window; returns its start time."""
-    begin = earliest_gap(reservations, arrival, service)
+    begin = legacy_earliest_gap(reservations, arrival, service)
+    legacy_book(reservations, begin, service)
+    return begin
+
+
+# ---------------------------------------------------------------------
+# The stable module-level API: original signatures, either container.
+# ---------------------------------------------------------------------
+def earliest_gap(
+    reservations: "ReservationTimeline | list[tuple[float, float]]",
+    arrival: float,
+    service: float,
+) -> float:
+    """Earliest start >= ``arrival`` of a free ``service``-long window."""
+    if type(reservations) is list:
+        return legacy_earliest_gap(reservations, arrival, service)
+    return reservations.earliest_gap(arrival, service)
+
+
+def book(
+    reservations: "ReservationTimeline | list[tuple[float, float]]",
+    begin: float,
+    service: float,
+) -> None:
+    """Insert a (begin, begin + service) window, keeping windows sorted.
+
+    The plain-list fallback places with a bisect instead of the old
+    linear scan and merges a window that abuts its left neighbour within
+    ``DEFAULT_MERGE_EPS`` — same observable bookings, bounded growth.
+    """
+    if type(reservations) is not list:
+        reservations.book(begin, service)
+        return
+    end = begin + service
+    n = len(reservations)
+    if n:
+        last_start, last_end = reservations[-1]
+        if begin >= last_end:  # tail fast path
+            if begin - last_end <= DEFAULT_MERGE_EPS:
+                reservations[-1] = (last_start, end)
+            else:
+                reservations.append((begin, end))
+            return
+    index = bisect_right(reservations, (begin, float("inf")))
+    if index > 0:
+        left_start, left_end = reservations[index - 1]
+        if 0.0 <= begin - left_end <= DEFAULT_MERGE_EPS:
+            if index < n and reservations[index][0] - end <= DEFAULT_MERGE_EPS:
+                reservations[index - 1] = (left_start, reservations[index][1])
+                del reservations[index]
+            else:
+                reservations[index - 1] = (left_start, end)
+            return
+    if index < n and reservations[index][0] - end <= DEFAULT_MERGE_EPS:
+        reservations[index] = (begin, reservations[index][1])
+        return
+    reservations.insert(index, (begin, end))
+
+
+def reserve(
+    reservations: "ReservationTimeline | list[tuple[float, float]]",
+    arrival: float,
+    service: float,
+) -> float:
+    """Book the earliest free window; returns its start time."""
+    if type(reservations) is not list:
+        return reservations.reserve(arrival, service)
+    begin = legacy_earliest_gap(reservations, arrival, service)
     book(reservations, begin, service)
     return begin
 
 
 def reserve_ops(
-    reservations: list[tuple[float, float]],
+    reservations: "ReservationTimeline | list[tuple[float, float]]",
     arrival: float,
     n_ops: int,
     iops_limit: float | None,

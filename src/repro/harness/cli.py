@@ -455,6 +455,33 @@ def build_parser() -> argparse.ArgumentParser:
             "job's report becomes queryable via `results query`"
         ),
     )
+    job_parser.add_argument(
+        "--staging-only",
+        action="store_true",
+        help=(
+            "run only the spec's cold staging pass (the distribution "
+            "overlay delivering every DLL to every node) and print its "
+            "makespan, skipping the per-rank import/visit simulation — "
+            "the same cell shape the mitigation studies sweep, and the "
+            "only tractable spelling of >10k-node cells like "
+            "llnl_multiphysics_xl (16384 full rank simulations would "
+            "take hours; the staging pass takes minutes)"
+        ),
+    )
+    job_parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help=(
+            "run the simulation under cProfile and print the top N "
+            "functions by own time (default 25) after the report — the "
+            "starting point for hot-path hunts; note that with a warm "
+            "--cache-dir hit this profiles the replay, not a simulation"
+        ),
+    )
     results_parser = sub.add_parser(
         "results",
         help="query, diff or export a results warehouse (sweep cache DB)",
@@ -641,7 +668,56 @@ def main(argv: list[str] | None = None) -> int:
 
         spec = _spec_from_job_args(args)
         print(f"spec {spec.spec_hash[:16]}", file=sys.stderr)
+        profiler = None
+        if args.profile is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+        if args.staging_only:
+            from repro.harness.mitigation_scaled import eval_staging_point
+            from repro.harness.sweep import SweepRunner
+
+            runner = (
+                SweepRunner(cache_dir=args.cache_dir)
+                if args.cache_dir
+                else SweepRunner()
+            )
+            summary = runner.map(
+                eval_staging_point,
+                [spec],
+                keys=[spec.spec_hash],
+                spec_docs=[spec.canonical_json()],
+            )[0]
+            if profiler is not None:
+                profiler.disable()
+            print(
+                f"staging-only {summary.strategy} pass: "
+                f"{summary.n_files} DLLs to {summary.n_nodes} nodes, "
+                f"{summary.staged_bytes} bytes per node"
+            )
+            print(
+                f"  makespan {summary.makespan_s:.4f}s  "
+                f"p50/p95 {summary.p50_s:.4f}/{summary.p95_s:.4f}s  "
+                f"skew {summary.skew_s:.4f}s"
+            )
+            print(
+                f"  source reads {summary.source_reads}  "
+                f"relay sends {summary.relay_sends}  "
+                f"warm nodes {summary.warm_node_count}"
+            )
+            if profiler is not None:
+                import pstats
+
+                print(f"\ncProfile top {args.profile} by own time:")
+                stats = pstats.Stats(profiler, stream=sys.stdout)
+                stats.strip_dirs().sort_stats("tottime").print_stats(
+                    args.profile
+                )
+            return 0
         report = simulate(spec, cache_dir=args.cache_dir)
+        if profiler is not None:
+            profiler.disable()
         print(
             f"{report.engine} job: {report.n_tasks} tasks on "
             f"{report.n_nodes} nodes, "
@@ -665,6 +741,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{report.staging_p95:.4f}/{report.staging_max:.4f}"
                 f"  skew {report.staging_skew_s:.4f}s"
             )
+        if profiler is not None:
+            import pstats
+
+            print(f"\ncProfile top {args.profile} by own time:")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("tottime").print_stats(args.profile)
         return 0
     if args.command == "spec":
         from repro.scenario import (

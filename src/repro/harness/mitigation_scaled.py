@@ -67,12 +67,14 @@ def _benchmark(config) -> "object":
     return generate(config)
 
 
-def _eval_staging_point(spec: ScenarioSpec) -> StagingSummary:
+def eval_staging_point(spec: ScenarioSpec) -> StagingSummary:
     """Evaluate one staging-only grid cell (top-level for pickling).
 
     Runs the overlay the spec declares on a fresh cold cluster of the
     spec's node count — the staging phase of the job, without the
-    per-rank import/visit simulation on top.
+    per-rank import/visit simulation on top.  Also the engine behind
+    ``pynamic-repro job --staging-only``, which is how the 16k-node
+    ``llnl_multiphysics_xl`` cell runs in tier-2 CI.
     """
     if spec.distribution is None:
         raise ConfigError(
@@ -214,7 +216,7 @@ def run(
     specs = [spec for _, _, spec in cells]
     result.declare_scenario(*specs)
     summaries = runner.map(
-        _eval_staging_point,
+        eval_staging_point,
         specs,
         keys=[spec.spec_hash for spec in specs],
         spec_docs=[spec.canonical_json() for spec in specs],

@@ -36,16 +36,27 @@ class Node:
     ) -> None:
         self.name = name
         self.costs = costs or CostModel()
-        self.hierarchy = hierarchy or CacheHierarchy(
-            l2_hit_penalty=self.costs.l2_hit_penalty,
-            memory_penalty=self.costs.memory_penalty,
-        )
+        # Built lazily: allocating the per-set tag lists dominates node
+        # construction, and most nodes of a >1k-node cluster (overlay
+        # relay daemons, never-simulated peers) never execute a single
+        # modelled instruction.
+        self._hierarchy = hierarchy
         self.buffer_cache = buffer_cache or BufferCache(
             page_bytes=self.costs.page_bytes
         )
         self.clock = SimClock(self.costs.frequency_hz)
         self.cores = cores
         self.processes: list[Process] = []
+
+    @property
+    def hierarchy(self) -> CacheHierarchy:
+        """The node's CPU cache hierarchy, created on first use."""
+        if self._hierarchy is None:
+            self._hierarchy = CacheHierarchy(
+                l2_hit_penalty=self.costs.l2_hit_penalty,
+                memory_penalty=self.costs.memory_penalty,
+            )
+        return self._hierarchy
 
     @property
     def seconds(self) -> float:

@@ -23,13 +23,38 @@ reordering window stays small.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Callable, Generator, Sequence, TypeVar
 
 from repro.errors import ConfigError
 
 _T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Counters describing one engine run, attached to a ``JobReport``.
+
+    ``ranks_simulated`` tasks were actually stepped; ``ranks_coalesced``
+    rode a representative's simulation (warm-batch replicas and per-node
+    lockstep coalescing) — their sum is the job's rank count.  The
+    timeline figures aggregate the shared file-system reservation
+    structures after the run: ``bookings`` counts every window ever
+    booked, ``windows`` what remained stored after adjacent-window
+    merging.
+    """
+
+    scheduler_steps: int
+    tasks_completed: int
+    ranks_simulated: int
+    ranks_coalesced: int
+    nfs_timeline_windows: int
+    nfs_timeline_bookings: int
+    pfs_timeline_windows: int
+    pfs_timeline_bookings: int
 
 
 class Mailbox:
@@ -108,6 +133,11 @@ class RankTask:
     ``steps`` yields after each unit of work (launch, program start, one
     module import, one module visit); ``now`` reports the rank's current
     virtual time so the scheduler can order resumptions.
+
+    ``multiplicity`` is the number of ranks this task stands for: a
+    coalesced task — one representative standing for several co-resident
+    ranks — is stepped once but weighs ``multiplicity`` in the
+    scheduler's ``ranks_completed`` accounting.
     """
 
     def __init__(
@@ -115,10 +145,16 @@ class RankTask:
         rank: int,
         steps: Generator[None, None, None],
         now: Callable[[], float],
+        multiplicity: int = 1,
     ) -> None:
+        if multiplicity < 1:
+            raise ConfigError(
+                f"task multiplicity must be >= 1, got {multiplicity}"
+            )
         self.rank = rank
         self._steps = steps
         self._now = now
+        self.multiplicity = multiplicity
         self.done = False
         self.steps_run = 0
 
@@ -148,11 +184,29 @@ class RankTask:
 
 
 class EventScheduler:
-    """Least-virtual-time-first cooperative scheduler over rank tasks."""
+    """Least-virtual-time-first cooperative scheduler over rank tasks.
+
+    The counters (``steps_run``, ``tasks_completed``,
+    ``ranks_completed``) *accumulate across* :meth:`run` calls on the
+    same scheduler instance — an engine that runs several phases on one
+    scheduler reads job totals at the end.  Call :meth:`reset_stats` to
+    start a fresh measurement window without constructing a new
+    scheduler.  ``ranks_completed`` weighs each completed task by its
+    :attr:`RankTask.multiplicity`, so coalesced representatives count
+    every rank they stand for.
+    """
 
     def __init__(self) -> None:
         self.steps_run = 0
         self.tasks_completed = 0
+        self.ranks_completed = 0
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated counters (the scheduler itself is
+        stateless between runs — only the statistics persist)."""
+        self.steps_run = 0
+        self.tasks_completed = 0
+        self.ranks_completed = 0
 
     def run(self, tasks: Sequence[RankTask]) -> None:
         """Interleave every task to completion on the shared timeline.
@@ -166,10 +220,38 @@ class EventScheduler:
             (task.now, task.rank, task) for task in tasks
         ]
         heapq.heapify(heap)
-        while heap:
-            _, rank, task = heapq.heappop(heap)
-            self.steps_run += 1
-            if task.step():
-                heapq.heappush(heap, (task.now, rank, task))
-            else:
-                self.tasks_completed += 1
+        # The pop/step/push cycle runs once per step of every task on the
+        # timeline — inline ``RankTask.step`` and keep the counters local
+        # (flushed even if a task raises) to cut per-step overhead.
+        # Cyclic GC is paused for the duration: an event loop allocating
+        # millions of short-lived heap entries while the live population
+        # (resident cache pages, landed maps) keeps growing makes the
+        # collector rescan the whole heap over and over for nothing —
+        # measured at ~a third of a large staging run's wall time.  Any
+        # cycles the run creates are collected after it returns.
+        heappop, heappush = heapq.heappop, heapq.heappush
+        steps_run = 0
+        completed = 0
+        ranks = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                _, rank, task = heappop(heap)
+                steps_run += 1
+                try:
+                    next(task._steps)
+                except StopIteration:
+                    task.done = True
+                    completed += 1
+                    ranks += task.multiplicity
+                else:
+                    task.steps_run += 1
+                    heappush(heap, (task._now(), rank, task))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self.steps_run += steps_run
+            self.tasks_completed += completed
+            self.ranks_completed += ranks

@@ -111,3 +111,35 @@ def llnl_multiphysics_scaled() -> ScenarioSpec:
             chunk_bytes=1 << 20,
         ),
     )
+
+
+@register_scenario("llnl_multiphysics_xl")
+def llnl_multiphysics_xl() -> ScenarioSpec:
+    """The exascale-era 16k-node cold staging cell (ROADMAP north star).
+
+    Same shape as :func:`llnl_multiphysics_scaled` — the complete
+    495-DLL multiphysics set, one rank per node, cold caches, chunked
+    cut-through binomial broadcast — at 16384 nodes, with the
+    per-library work scaled down another notch.  Tier-2 CI runs it
+    through ``job --staging-only``: the ~8M-relay-event overlay pass
+    (every DLL delivered to every node) completes in minutes, runnable
+    at all only because the reservation timelines book in O(log n).
+    The *full* job — 16384 per-rank dynamic-link simulations on top —
+    is still hours of wall time and stays an open ROADMAP item.
+    """
+    config = replace(
+        config_presets.llnl_multiphysics(),
+        avg_functions=6,
+        avg_body_instructions=10,
+    )
+    return ScenarioSpec(
+        config=config,
+        engine="multirank",
+        n_tasks=16384,
+        cores_per_node=1,
+        distribution=DistributionSpec(
+            topology=Topology.BINOMIAL,
+            pipelined=True,
+            chunk_bytes=1 << 20,
+        ),
+    )

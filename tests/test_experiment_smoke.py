@@ -25,6 +25,7 @@ EXPECTED_EXPERIMENTS = (
     "ablation_prelink",
     "ablation_randomization",
     "costmodel",
+    "engine_perf",
     "job_scaling",
     "mitigation",
     "mitigation_scaled",

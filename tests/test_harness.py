@@ -121,6 +121,47 @@ class TestCli:
         assert "distribution=binomial" in out
         assert "staging" in out
 
+    def test_job_staging_only_runs_just_the_overlay_pass(self, capsys):
+        assert main(
+            [
+                "job",
+                "--modules", "3", "--utilities", "2", "--avg-functions", "8",
+                "--tasks", "4", "--cores-per-node", "1",
+                "--engine", "multirank", "--distribution", "binomial",
+                "--staging-only",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "staging-only" in out
+        assert "makespan" in out
+        assert "relay sends" in out
+        # The per-rank report lines must NOT appear: the job was skipped.
+        assert "multirank job:" not in out
+
+    def test_job_staging_only_needs_a_distribution(self):
+        with pytest.raises(ConfigError, match="staging cell"):
+            main(
+                [
+                    "job",
+                    "--modules", "3", "--utilities", "2",
+                    "--avg-functions", "8",
+                    "--tasks", "4", "--engine", "multirank",
+                    "--staging-only",
+                ]
+            )
+
+    def test_job_profile_prints_hot_functions(self, capsys):
+        assert main(
+            [
+                "job",
+                "--modules", "3", "--utilities", "2", "--avg-functions", "8",
+                "--tasks", "2", "--profile", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cProfile top 5 by own time" in out
+        assert "tottime" in out
+
     def test_job_command_analytic_default(self, capsys):
         assert main(
             [

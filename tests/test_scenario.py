@@ -264,6 +264,7 @@ class TestPresets:
             "table4",
             "llnl_multiphysics",
             "llnl_multiphysics_scaled",
+            "llnl_multiphysics_xl",
         ):
             assert expected in names
 
@@ -278,6 +279,18 @@ class TestPresets:
         assert spec.n_nodes > 1000
         assert spec.engine == "multirank"
         assert spec.distribution.pipelined
+
+    def test_xl_preset_is_the_16k_node_cold_cell(self):
+        spec = scenario_preset("llnl_multiphysics_xl")
+        scaled = scenario_preset("llnl_multiphysics_scaled")
+        assert spec.config.n_libraries == 495  # the full set survives
+        assert spec.n_nodes == 16384 and spec.cores_per_node == 1
+        assert spec.engine == "multirank"
+        assert not spec.warm_file_cache
+        assert spec.distribution.pipelined
+        # Per-library work is scaled below the 1536-node study's, so the
+        # 10.7x node count stays simulable in CI time.
+        assert spec.config.avg_functions < scaled.config.avg_functions
 
 
 class TestJobPlumbing:
