@@ -1,0 +1,70 @@
+"""Rush-hour acceptance: the multi-tenant storm at full scale.
+
+Runs the rush-hour experiment once at its default scale (8 concurrent
+cold 8-node jobs on 64 shared nodes) through a fresh warehouse, and
+locks the headline claims:
+
+- cross-job contention makes the burst's cold-start p95 strictly worse
+  than the same job run solo;
+- pipelined binomial broadcast staging beats demand-paged NFS-direct
+  under the same burst;
+- a workload cell replays from the warehouse by its canonical workload
+  hash in under a second.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+from repro.harness.rush_hour import DEFAULT_N_JOBS, DEFAULT_N_NODES
+from repro.workload.presets import workload_preset
+from repro.workload.run import run_workload
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("rush-hour-warehouse"))
+
+
+@pytest.fixture(scope="module")
+def rush_hour_result(cache_dir):
+    return run_experiment("rush_hour", cache_dir=cache_dir)
+
+
+def test_runs_at_acceptance_scale(rush_hour_result):
+    assert DEFAULT_N_NODES >= 64
+    assert DEFAULT_N_JOBS >= 8
+    assert f"{DEFAULT_N_JOBS} cold" in rush_hour_result.name
+    assert f"{DEFAULT_N_NODES} shared nodes" in rush_hour_result.name
+
+
+def test_contention_strictly_inflates_cold_start_over_solo(rush_hour_result):
+    assert rush_hour_result.metrics["contention_over_solo"] > 1.0
+
+
+def test_broadcast_staging_flattens_the_storm(rush_hour_result):
+    assert rush_hour_result.metrics["broadcast_over_direct"] < 1.0
+
+
+def test_burst_is_the_worst_arrival_for_nfs_direct(rush_hour_result):
+    burst = rush_hour_result.metrics["startup_p95[burst][nfs-direct]"]
+    for rate in (0.25,):
+        slower_stream = rush_hour_result.metrics[
+            f"startup_p95[poisson@{rate:g}/s][nfs-direct]"
+        ]
+        assert burst >= slower_stream
+
+
+def test_workload_cell_replays_in_under_a_second(cache_dir, rush_hour_result):
+    # The experiment above populated the warehouse; this exact preset
+    # matches its burst/nfs-direct cell by canonical workload hash.
+    spec = workload_preset("rush_hour")
+    began = time.perf_counter()
+    replay = run_workload(spec, cache_dir=cache_dir)
+    elapsed = time.perf_counter() - began
+    assert elapsed < 1.0, f"warehouse replay took {elapsed:.3f}s"
+    assert replay.workload_hash == spec.workload_hash
+    assert replay.tenant("storm").startup_p95_s == pytest.approx(
+        rush_hour_result.metrics["startup_p95[burst][nfs-direct]"]
+    )

@@ -20,7 +20,7 @@ fast mode; this engine is the scenario mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Generator
+from typing import Generator, Sequence
 
 from repro.core.builds import BuildImage, BuildMode, build_benchmark
 from repro.core.config import PynamicConfig
@@ -33,7 +33,7 @@ from repro.dist.topology import DistributionSpec
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError, DriverError
 from repro.linker.dynamic import DynamicLinker
-from repro.machine.cluster import Cluster
+from repro.machine.cluster import Cluster, ClusterSlice
 from repro.machine.context import ExecutionContext
 from repro.machine.costs import CostModel
 from repro.machine.node import Node, TimedReadNode
@@ -405,7 +405,8 @@ class MultiRankJob:
         return ranks, {rank: rank for rank in ranks}
 
     def _stage_distribution(
-        self, cluster: Cluster, build: BuildImage
+        self, cluster: "Cluster | ClusterSlice", build: BuildImage,
+        start_s: float = 0.0,
     ) -> StagingPlan | None:
         """Run the library-distribution overlay for a cold job."""
         if self.distribution is None or self.warm_file_cache:
@@ -420,21 +421,53 @@ class MultiRankJob:
             straggler_nodes=self.scenario.straggler_nodes,
             straggler_slowdown=self.scenario.straggler_slowdown,
         )
-        return overlay.stage(list(build.images.values()))
+        return overlay.stage(list(build.images.values()), start_s=start_s)
 
-    def run(self) -> JobReport:
-        """Simulate every rank; returns a report with per-rank detail."""
-        cluster = Cluster(
-            n_nodes=self.n_nodes, cores_per_node=self.cores_per_node
-        )
-        cluster.validate_job_size(self.n_tasks)
-        cluster.nfs.reset_queue()
-        cluster.pfs.reset_queue()
+    def launch(
+        self,
+        cluster: "Cluster | ClusterSlice",
+        node_indices: "Sequence[int] | None" = None,
+        start_s: float = 0.0,
+    ):
+        """Prepare the job's rank tasks on a (possibly shared) cluster.
+
+        Returns ``(tasks, finalize)``: schedule ``tasks`` on an
+        :class:`EventScheduler` — alone, or interleaved with *other
+        jobs'* tasks on one shared timeline — then call
+        ``finalize(scheduler)`` once they have all completed to get the
+        :class:`JobReport`.  :meth:`run` is the solo spelling (fresh
+        cluster, fresh scheduler, queues reset); the batch-queue
+        workload engine is the multi-tenant one, where several jobs'
+        tasks share the cluster's NFS/PFS reservation timelines and
+        per-node buffer caches so cross-job contention emerges.
+
+        ``node_indices`` selects which cluster nodes the job's local
+        nodes ``0..n_nodes-1`` map onto (default: identity — the first
+        ``n_nodes`` nodes).  ``start_s`` offsets every rank clock and
+        the staging pass to the job's start time on the shared timeline;
+        reported phase times stay durations, so reports from different
+        start times are comparable.
+
+        The caller owns queue hygiene: reset the cluster's filesystem
+        queues once per *timeline*, not per job.
+        """
+        if start_s < 0:
+            raise ConfigError(f"start_s must be >= 0, got {start_s}")
+        if node_indices is not None:
+            if len(node_indices) != self.n_nodes:
+                raise ConfigError(
+                    f"job needs {self.n_nodes} nodes, got "
+                    f"{len(node_indices)} node indices"
+                )
+            view = ClusterSlice(cluster, node_indices)  # type: ignore[arg-type]
+        else:
+            view = cluster
+        view.validate_job_size(self.n_tasks)
         build = build_benchmark(
-            self.spec, cluster.nfs, self.mode, hash_style=self.hash_style
+            self.spec, view.nfs, self.mode, hash_style=self.hash_style
         )
         for image in build.images.values():
-            cluster.file_store.add(image)
+            view.file_store.add(image)
         rng = SeededRng(getattr(self.spec.config, "seed", 0))
         self._drivers = {}
         self.batched = False
@@ -454,15 +487,15 @@ class MultiRankJob:
         # Only the representative's node needs its cache warmed on the
         # warm fast path, keeping it O(1) in the node count too.
         self._warm_caches(
-            cluster, build, rng,
+            view, build, rng,
             node_indices=[0] if self.batched else warm_nodes,
         )
-        plan = self._stage_distribution(cluster, build)
+        plan = self._stage_distribution(view, build, start_s=start_s)
         self.staging_plan = plan
         tasks: list[RankTask] = []
         for rank in simulated:
             node_index = rank // self.cores_per_node
-            home = cluster.nodes[node_index]
+            home = view.nodes[node_index]
             costs = self.scenario.node_costs(node_index, home.costs)
             profile = self.scenario.node_profile(node_index, self.os_profile)
             rank_node = TimedReadNode(
@@ -471,6 +504,8 @@ class MultiRankJob:
                 buffer_cache=home.buffer_cache,
                 cores=1,
             )
+            if start_s > 0.0:
+                rank_node.clock.advance_to_seconds(start_s)
             router = plan.router_for(node_index) if plan is not None else None
             tasks.append(
                 RankTask(
@@ -482,45 +517,76 @@ class MultiRankJob:
                     multiplicity=multiplicity[rank],
                 )
             )
+
+        def finalize(scheduler: EventScheduler) -> JobReport:
+            """The job's report once every task has been stepped done."""
+            for task in tasks:
+                if not task.done:
+                    raise ConfigError(
+                        f"finalize before rank {task.rank} completed"
+                    )
+            mpi_per_rank = self._mpi_phase(view, simulated)
+            reports = {
+                rank: self._drivers[rank].final_report(
+                    mpi_s=mpi_per_rank[rank]
+                )
+                for rank in simulated
+            }
+            # Reports are read-only downstream, so replicated ranks share
+            # their representative's instance.
+            per_rank = [
+                reports[representative[rank]] for rank in range(self.n_tasks)
+            ]
+            distribution_label = (
+                self.distribution.label
+                if self.distribution is not None
+                else "none"
+            )
+            if plan is not None:
+                # Durations since job start: comparable across jobs that
+                # started at different points of a shared timeline.
+                staging_per_node = [
+                    done - start_s for done in plan.per_node_done_s
+                ]
+            else:
+                staging_per_node = None
+            nfs_windows, nfs_bookings = view.nfs.timeline_stats()
+            pfs_windows, pfs_bookings = view.pfs.timeline_stats()
+            return JobReport(
+                n_tasks=self.n_tasks,
+                n_nodes=self.n_nodes,
+                rank0=per_rank[0],
+                cold=not self.warm_file_cache,
+                engine="multirank",
+                per_rank=per_rank,
+                distribution=distribution_label,
+                staging_per_node=staging_per_node,
+                engine_stats=EngineStats(
+                    scheduler_steps=scheduler.steps_run,
+                    tasks_completed=scheduler.tasks_completed,
+                    ranks_simulated=self.n_simulated,
+                    ranks_coalesced=self.n_tasks - self.n_simulated,
+                    nfs_timeline_windows=nfs_windows,
+                    nfs_timeline_bookings=nfs_bookings,
+                    pfs_timeline_windows=pfs_windows,
+                    pfs_timeline_bookings=pfs_bookings,
+                ),
+            )
+
+        return tasks, finalize
+
+    def run(self) -> JobReport:
+        """Simulate every rank; returns a report with per-rank detail."""
+        cluster = Cluster(
+            n_nodes=self.n_nodes, cores_per_node=self.cores_per_node
+        )
+        cluster.validate_job_size(self.n_tasks)
+        cluster.nfs.reset_queue()
+        cluster.pfs.reset_queue()
+        tasks, finalize = self.launch(cluster)
         scheduler = EventScheduler()
         scheduler.run(tasks)
-        mpi_per_rank = self._mpi_phase(cluster, simulated)
-        reports = {
-            rank: self._drivers[rank].final_report(mpi_s=mpi_per_rank[rank])
-            for rank in simulated
-        }
-        # Reports are read-only downstream, so replicated ranks share
-        # their representative's instance.
-        per_rank = [
-            reports[representative[rank]] for rank in range(self.n_tasks)
-        ]
-        distribution_label = (
-            self.distribution.label if self.distribution is not None else "none"
-        )
-        nfs_windows, nfs_bookings = cluster.nfs.timeline_stats()
-        pfs_windows, pfs_bookings = cluster.pfs.timeline_stats()
-        return JobReport(
-            n_tasks=self.n_tasks,
-            n_nodes=self.n_nodes,
-            rank0=per_rank[0],
-            cold=not self.warm_file_cache,
-            engine="multirank",
-            per_rank=per_rank,
-            distribution=distribution_label,
-            staging_per_node=(
-                list(plan.per_node_done_s) if plan is not None else None
-            ),
-            engine_stats=EngineStats(
-                scheduler_steps=scheduler.steps_run,
-                tasks_completed=scheduler.tasks_completed,
-                ranks_simulated=self.n_simulated,
-                ranks_coalesced=self.n_tasks - self.n_simulated,
-                nfs_timeline_windows=nfs_windows,
-                nfs_timeline_bookings=nfs_bookings,
-                pfs_timeline_windows=pfs_windows,
-                pfs_timeline_bookings=pfs_bookings,
-            ),
-        )
+        return finalize(scheduler)
 
     # ------------------------------------------------------------------
     def _warm_nodes(self, rng: SeededRng) -> list[int]:

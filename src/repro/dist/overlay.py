@@ -130,9 +130,13 @@ class RelayDaemon(SteppedProgram):
         pipelined: bool,
         spawn_s: float,
         chunk_bytes: "int | None" = None,
+        start_s: float = 0.0,
     ) -> None:
         self.index = index
         self.node = node
+        #: Virtual time the staging pass begins (a batch-queued job's
+        #: start time on a shared cluster timeline; 0 for a solo job).
+        self.start_s = start_s
         self.images = list(images)
         #: Same files, possibly re-pointed at the staging source (PFS
         #: mirrors share the originals' paths, hence their cache pages).
@@ -222,7 +226,7 @@ class RelayDaemon(SteppedProgram):
                 continue
             # A pre-warmed cache (reused batch allocation) already holds
             # the image: available since job launch.
-            self.landed[image.path] = 0.0
+            self.landed[image.path] = self.start_s
             if self.pipelined:
                 yield from self._relay_image(image)
             yield
@@ -409,16 +413,26 @@ class DistributionOverlay:
             for image in images
         ]
 
-    def stage(self, images: Sequence[FileImage]) -> StagingPlan:
+    def stage(
+        self, images: Sequence[FileImage], start_s: float = 0.0
+    ) -> StagingPlan:
         """Run one staging pass; lands images in every node's cache.
 
         Returns the :class:`StagingPlan` with per-(node, image)
         availability times.  The caller owns queue hygiene: the pass
         books reservations on the cluster's shared file-system timelines
         exactly like any other client.
+
+        ``start_s`` offsets the whole pass on the shared virtual
+        timeline — a batch-queued job staging at its (possibly delayed)
+        start time books its source reads at ``>= start_s``, so several
+        jobs' staging passes genuinely contend on one cluster's
+        file-system reservations.  All reported times stay absolute.
         """
         if not images:
             raise ConfigError("nothing to distribute: empty image set")
+        if start_s < 0:
+            raise ConfigError(f"start_s must be >= 0, got {start_s}")
         n_nodes = self.cluster.n_nodes
         spec = self.spec
         for index in spec.straggler_relay_nodes:
@@ -446,9 +460,13 @@ class DistributionOverlay:
                 pipelined=spec.pipelined,
                 spawn_s=spec.daemon_spawn_s,
                 chunk_bytes=spec.chunk_bytes,
+                start_s=start_s,
             )
             for index in range(n_nodes)
         ]
+        if start_s > 0.0:
+            for daemon in self.daemons:
+                daemon.node.clock.advance_to_seconds(start_s)
         # Cache-aware wiring: snapshot each node's pre-staged residency
         # before any daemon runs (the pass itself mutates the caches).
         for daemon in self.daemons:

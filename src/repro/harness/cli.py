@@ -290,6 +290,7 @@ def _run_results(args: argparse.Namespace) -> int:
         if args.results_command == "query":
             metrics = resolve_metrics(args.metrics)
             with open_warehouse(args.warehouse) as store:
+                stored = len(store)
                 rows = query_rows(
                     store,
                     engine=args.engine,
@@ -298,6 +299,23 @@ def _run_results(args: argparse.Namespace) -> int:
                     commit=args.commit,
                     key_prefix=args.spec_hash,
                 )
+            if not rows and not args.json:
+                # An empty table invites misreading ("the sweep ran but
+                # produced nothing"); say which of the two empties it is.
+                if stored == 0:
+                    print(
+                        f"warehouse {args.warehouse} is empty — run a "
+                        f"sweep or job with --cache-dir pointing at it "
+                        f"to populate it"
+                    )
+                else:
+                    print(
+                        f"no rows match the given filters "
+                        f"({stored} row(s) stored in {args.warehouse}); "
+                        f"try `results query {args.warehouse}` without "
+                        f"filters"
+                    )
+                return 0
             if args.json:
                 print(json.dumps(rows, indent=2, sort_keys=True))
                 return 0
@@ -330,6 +348,17 @@ def _run_results(args: argparse.Namespace) -> int:
                 old_rows = query_rows(old_store)
             with open_warehouse(args.new) as new_store:
                 new_rows = query_rows(new_store)
+            empties = [
+                location
+                for location, rows in ((args.old, old_rows), (args.new, new_rows))
+                if not rows
+            ]
+            if empties and not args.json:
+                # A zero-row diff looks like "no regressions"; an empty
+                # side means there was nothing to compare at all.
+                for location in empties:
+                    print(f"warehouse {location} is empty — nothing to diff")
+                return 0
             diff = diff_rows(old_rows, new_rows, metrics)
             if args.json:
                 print(json.dumps(diff, indent=2, sort_keys=True))
@@ -387,6 +416,182 @@ def _run_results(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the subcommands
 
 
+def _run_spec_dir(args: argparse.Namespace) -> int:
+    """``run --spec-dir``: a directory of spec JSONs as one batch study.
+
+    Every ``*.json`` in the directory is loaded as a
+    :class:`ScenarioSpec`, simulated through :func:`simulate` (so a
+    ``--cache-dir`` memoizes the whole study in the results warehouse),
+    and summarized into one result JSON per spec named by its canonical
+    spec hash — the open ROADMAP batch-study item.
+    """
+    from repro.results.schema import extract_columns
+    from repro.scenario import ScenarioSpec, simulate
+
+    spec_dir = args.spec_dir
+    if not os.path.isdir(spec_dir):
+        print(f"--spec-dir {spec_dir}: not a directory", file=sys.stderr)
+        return 1
+    paths = sorted(
+        os.path.join(spec_dir, name)
+        for name in os.listdir(spec_dir)
+        if name.endswith(".json")
+    )
+    if not paths:
+        print(f"--spec-dir {spec_dir}: no *.json spec files", file=sys.stderr)
+        return 1
+    specs: list[tuple[str, ScenarioSpec]] = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 1
+        try:
+            specs.append((path, ScenarioSpec.from_dict(data)))
+        except ConfigError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 1
+    out_dir = args.out or os.path.join(spec_dir, "results")
+    os.makedirs(out_dir, exist_ok=True)
+    from repro.perf.report import render_table
+
+    rows = []
+    for path, spec in specs:
+        report = simulate(spec, cache_dir=args.cache_dir)
+        columns = extract_columns(report)
+        document = {
+            "spec_hash": spec.spec_hash,
+            "source": os.path.basename(path),
+            "spec": spec.to_dict(),
+            "metrics": columns["metrics"],
+        }
+        out_path = os.path.join(out_dir, f"{spec.spec_hash}.json")
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        rows.append(
+            [
+                os.path.basename(path),
+                spec.spec_hash[:16],
+                spec.engine,
+                spec.n_tasks,
+                _format_metric(columns["metrics"].get("total_s")),
+                _format_metric(columns["metrics"].get("total_max")),
+            ]
+        )
+    print(
+        render_table(
+            ["spec file", "spec hash", "engine", "tasks", "total_s",
+             "total_max"],
+            rows,
+            title=f"{len(specs)} spec(s) -> {out_dir}",
+        )
+    )
+    return 0
+
+
+def _load_workload_spec(source: str):
+    """Resolve a workload source: a JSON file path or a preset name."""
+    from repro.workload import WorkloadSpec, workload_preset
+
+    looks_like_path = (
+        source.endswith(".json")
+        or os.path.sep in source
+        or os.path.exists(source)
+    )
+    if not looks_like_path:
+        return workload_preset(source)
+    try:
+        with open(source, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(f"{source}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{source}: not valid JSON ({exc})") from None
+    return WorkloadSpec.from_dict(data)
+
+
+def _run_workload_command(args: argparse.Namespace) -> int:
+    """The ``workload run/show/validate/schema/presets`` subcommands."""
+    from repro.workload import (
+        WORKLOAD_JSON_SCHEMA,
+        WorkloadSpec,
+        run_workload,
+        validate_workload_dict,
+        workload_preset_names,
+    )
+
+    if args.workload_command == "schema":
+        print(json.dumps(WORKLOAD_JSON_SCHEMA, indent=2, sort_keys=True))
+        return 0
+    if args.workload_command == "presets":
+        for name in workload_preset_names():
+            print(name)
+        return 0
+    if args.workload_command == "validate":
+        try:
+            with open(args.source, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{args.source}: {exc}", file=sys.stderr)
+            return 1
+        try:
+            validate_workload_dict(data)
+            spec = WorkloadSpec.from_dict(data)
+        except ConfigError as exc:
+            print(f"{args.source}: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.source}: valid (workload_hash {spec.workload_hash})")
+        return 0
+    try:
+        spec = _load_workload_spec(args.source)
+    except ConfigError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 1
+    if args.workload_command == "show":
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        print(f"workload_hash {spec.workload_hash}", file=sys.stderr)
+        return 0
+    # workload run
+    from repro.perf.report import render_table
+
+    print(f"workload {spec.workload_hash[:16]}", file=sys.stderr)
+    report = run_workload(spec, cache_dir=args.cache_dir)
+    print(
+        f"workload: {report.n_jobs} jobs on {report.n_nodes} shared nodes "
+        f"({report.policy} queue), makespan {report.makespan_s:.4f}s, "
+        f"fairness spread {report.fairness_spread:.3f}"
+    )
+    print(
+        render_table(
+            ["tenant", "jobs", "wait p50/p95", "cold-start p50/p95",
+             "staging p95", "slowdown p95"],
+            [
+                [
+                    t.name,
+                    t.n_jobs,
+                    f"{t.wait_p50_s:.4f}/{t.wait_p95_s:.4f}",
+                    f"{t.startup_p50_s:.4f}/{t.startup_p95_s:.4f}",
+                    f"{t.staging_p95_s:.4f}",
+                    f"{t.slowdown_p95:.3f}",
+                ]
+                for t in report.tenants
+            ],
+            title="per-tenant percentiles (seconds)",
+        )
+    )
+    if args.json is not None:
+        document = report.to_json_dict()
+        if args.json == "-":
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -398,8 +603,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment", help="experiment name or 'all'")
+    run_parser = sub.add_parser(
+        "run",
+        help="run one experiment (or 'all'), or a --spec-dir batch study",
+    )
+    run_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name or 'all' (omit when using --spec-dir)",
+    )
+    run_parser.add_argument(
+        "--spec-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "batch study: run every ScenarioSpec *.json in DIR through "
+            "simulate() and write one result JSON per spec, named by its "
+            "canonical spec hash (combine with --cache-dir to memoize "
+            "the whole study in the results warehouse)"
+        ),
+    )
+    run_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "output directory for --spec-dir result files "
+            "(default: <spec-dir>/results)"
+        ),
+    )
     _add_engine_arguments(run_parser)
     run_parser.add_argument(
         "--node-counts",
@@ -581,6 +814,66 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="output path ('-' writes to stdout)",
     )
+    workload_parser = sub.add_parser(
+        "workload",
+        help=(
+            "multi-tenant batch-queue workloads: many ScenarioSpec jobs "
+            "on one shared cluster + filesystem timeline"
+        ),
+    )
+    workload_sub = workload_parser.add_subparsers(
+        dest="workload_command", required=True
+    )
+    workload_run = workload_sub.add_parser(
+        "run",
+        help=(
+            "simulate a WorkloadSpec (preset name or JSON file) and "
+            "print per-tenant wait/cold-start percentiles, makespan and "
+            "fairness"
+        ),
+    )
+    workload_run.add_argument(
+        "source", help="workload preset name or path to a workload JSON file"
+    )
+    workload_run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "memoize the run in the results warehouse under the "
+            "canonical workload hash; a repeated run replays in "
+            "milliseconds"
+        ),
+    )
+    workload_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the WorkloadReport digest as JSON ('-' = stdout)",
+    )
+    workload_show = workload_sub.add_parser(
+        "show",
+        help=(
+            "print a workload (preset name or JSON file) as canonical "
+            "JSON; the workload hash goes to stderr"
+        ),
+    )
+    workload_show.add_argument(
+        "source", help="workload preset name or path to a workload JSON file"
+    )
+    workload_validate = workload_sub.add_parser(
+        "validate",
+        help="validate a workload JSON file against the published schema",
+    )
+    workload_validate.add_argument(
+        "source", help="path to a workload JSON file"
+    )
+    workload_sub.add_parser(
+        "schema", help="print the published workload JSON schema"
+    )
+    workload_sub.add_parser(
+        "presets", help="list registered workload presets"
+    )
     spec_parser = sub.add_parser(
         "spec", help="show, validate or describe ScenarioSpec documents"
     )
@@ -632,6 +925,14 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "run":
+        if args.spec_dir is not None:
+            return _run_spec_dir(args)
+        if args.experiment is None:
+            print(
+                "run: name an experiment (or 'all'), or pass --spec-dir DIR",
+                file=sys.stderr,
+            )
+            return 1
         names = (
             all_experiment_names()
             if args.experiment == "all"
@@ -661,6 +962,8 @@ def main(argv: list[str] | None = None) -> int:
                 json.dump(payload, handle, indent=2, sort_keys=True)
             print(f"wrote {args.json}")
         return 0
+    if args.command == "workload":
+        return _run_workload_command(args)
     if args.command == "results":
         return _run_results(args)
     if args.command == "job":

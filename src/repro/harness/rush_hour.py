@@ -1,0 +1,211 @@
+"""Rush hour: N cold jobs hit one NFS server, by arrival x strategy.
+
+The paper measures one job's startup storm; a production morning looks
+different — many jobs land on the batch queue together and *every* one
+of them cold-starts against the same shared filesystem.  This
+experiment sweeps the arrival process (simultaneous burst vs Poisson
+streams at increasing rates) against the distribution strategy
+(demand-paged NFS vs pipelined binomial broadcast) on one shared
+cluster, and reports per-tenant cold-start percentiles, queue waits,
+makespan and fairness.
+
+Two headline metrics:
+
+- ``contention_over_solo``: the burst's pooled cold-start p95 over the
+  *same job run alone* — how much cross-job NFS contention costs.
+- ``broadcast_over_direct``: broadcast's burst cold-start p95 over
+  NFS-direct's — how much tree staging flattens the storm (< 1).
+
+Every workload cell is memoized in the results warehouse by workload
+hash (``--cache-dir``), so re-runs replay in milliseconds.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PynamicConfig
+from repro.core.job import percentile
+from repro.dist.topology import DistributionSpec, Topology
+from repro.errors import ConfigError
+from repro.harness.experiments import ExperimentResult, register
+from repro.harness.mitigation import _note_cache_stats
+from repro.harness.sweep import SweepRunner, sweep_scenarios
+from repro.scenario.spec import ScenarioSpec
+from repro.workload.presets import rush_hour_job
+from repro.workload.report import cold_start_values
+from repro.workload.run import run_workload
+from repro.workload.spec import TenantSpec, WorkloadSpec
+
+#: The acceptance scale: >= 8 concurrent cold jobs on >= 64 nodes.
+DEFAULT_N_NODES = 64
+DEFAULT_N_JOBS = 8
+
+#: Seconds-fast scale for the tier-1 registry smoke.
+SMOKE_N_NODES = 8
+SMOKE_N_JOBS = 3
+
+#: Poisson arrival rates (jobs/second) swept alongside the burst.
+DEFAULT_RATES = (0.25, 1.0)
+SMOKE_RATES = (1.0,)
+
+_BROADCAST = DistributionSpec(
+    topology=Topology.BINOMIAL, pipelined=True, chunk_bytes=1 << 20
+)
+
+
+def _smoke_job(n_tasks: int) -> ScenarioSpec:
+    """A seconds-fast tenant job for registry smoke runs."""
+    return ScenarioSpec(
+        config=PynamicConfig(
+            n_modules=3,
+            n_utilities=2,
+            avg_functions=8,
+            avg_body_instructions=20,
+            seed=11,
+            name_length=0,
+        ),
+        engine="multirank",
+        n_tasks=n_tasks,
+        cores_per_node=1,
+    )
+
+
+def _workload_cell(
+    job: ScenarioSpec,
+    n_nodes: int,
+    n_jobs: int,
+    arrival: str,
+    rate_per_s: "float | None",
+    policy: str,
+) -> WorkloadSpec:
+    tenant = TenantSpec(
+        name="storm",
+        scenario=job,
+        n_jobs=n_jobs,
+        arrival=arrival,
+        rate_per_s=rate_per_s,
+    )
+    return WorkloadSpec(tenants=(tenant,), n_nodes=n_nodes, policy=policy)
+
+
+@register("rush_hour")
+def run(
+    n_nodes: "int | None" = None,
+    n_jobs: "int | None" = None,
+    cache_dir: "str | None" = None,
+    policy: str = "fifo",
+    smoke: bool = False,
+) -> ExperimentResult:
+    """Cold-start storms by arrival process and distribution strategy."""
+    if smoke:
+        nodes = n_nodes or SMOKE_N_NODES
+        jobs = n_jobs or SMOKE_N_JOBS
+        rates = SMOKE_RATES
+        job_width = 2
+        base_job = _smoke_job(job_width)
+    else:
+        nodes = n_nodes or DEFAULT_N_NODES
+        jobs = n_jobs or DEFAULT_N_JOBS
+        rates = DEFAULT_RATES
+        job_width = 8
+        base_job = rush_hour_job(job_width)
+    if nodes < job_width * 1:
+        raise ConfigError(
+            f"n_nodes={nodes} cannot host even one {job_width}-node job"
+        )
+    runner = SweepRunner(cache_dir=cache_dir) if cache_dir else SweepRunner()
+    strategies = {
+        "nfs-direct": base_job,
+        "broadcast": base_job.with_(distribution=_BROADCAST),
+    }
+    arrivals: list[tuple[str, str, "float | None"]] = [
+        ("burst", "burst", None)
+    ]
+    for rate in rates:
+        arrivals.append((f"poisson@{rate:g}/s", "poisson", rate))
+    result = ExperimentResult(
+        name=(
+            f"Rush hour: {jobs} cold {job_width}-node jobs on {nodes} "
+            f"shared nodes ({policy} queue)"
+        ),
+        paper_reference=(
+            "Section II's startup storm, scheduled as a multi-tenant "
+            "batch queue instead of one job at a time"
+        ),
+    )
+    result.declare_scenario(*strategies.values())
+    # Solo baselines: the same job specs, run alone, through the same
+    # warehouse-backed runner — the denominator of the contention ratio.
+    solo_reports = dict(
+        zip(
+            strategies,
+            sweep_scenarios(list(strategies.values()), runner=runner),
+        )
+    )
+    solo_p95 = {
+        label: percentile(cold_start_values(report), 95)
+        for label, report in solo_reports.items()
+    }
+    cell_reports: dict[tuple[str, str], object] = {}
+    rows = []
+    for arrival_label, arrival, rate in arrivals:
+        row: list[object] = [arrival_label]
+        for strategy_label, job in strategies.items():
+            spec = _workload_cell(job, nodes, jobs, arrival, rate, policy)
+            report = run_workload(spec, runner=runner)
+            cell_reports[arrival_label, strategy_label] = report
+            storm = report.tenant("storm")
+            row.extend(
+                [
+                    f"{storm.startup_p95_s:.4f}",
+                    f"{storm.wait_p95_s:.4f}",
+                    f"{report.makespan_s:.4f}",
+                ]
+            )
+            prefix = f"[{arrival_label}][{strategy_label}]"
+            result.metrics[f"startup_p95{prefix}"] = storm.startup_p95_s
+            result.metrics[f"wait_p95{prefix}"] = storm.wait_p95_s
+            result.metrics[f"makespan{prefix}"] = report.makespan_s
+            result.metrics[f"fairness{prefix}"] = report.fairness_spread
+        rows.append(row)
+    result.add_table(
+        "per-tenant cold-start p95 / queue-wait p95 / makespan (seconds)",
+        [
+            "arrival",
+            *(
+                f"{label} {column}"
+                for label in strategies
+                for column in ("startup p95", "wait p95", "makespan")
+            ),
+        ],
+        rows,
+    )
+    for label, value in solo_p95.items():
+        result.metrics[f"solo_startup_p95[{label}]"] = value
+    burst_direct = cell_reports["burst", "nfs-direct"].tenant("storm")
+    burst_broadcast = cell_reports["burst", "broadcast"].tenant("storm")
+    result.metrics["contention_over_solo"] = (
+        burst_direct.startup_p95_s / solo_p95["nfs-direct"]
+    )
+    result.metrics["broadcast_over_direct"] = (
+        burst_broadcast.startup_p95_s / burst_direct.startup_p95_s
+    )
+    result.notes.append(
+        f"{jobs} simultaneous cold launches inflate the demand-paged "
+        f"cold-start p95 by "
+        f"{result.metrics['contention_over_solo']:.2f}x over the same "
+        f"job run alone — contention that only exists because every "
+        f"job books the same NFS reservation timeline"
+    )
+    result.notes.append(
+        "binomial broadcast staging reads the DLL set from NFS once "
+        "per job instead of once per node, cutting the burst's "
+        "cold-start p95 to "
+        f"{result.metrics['broadcast_over_direct']:.2f}x of NFS-direct"
+    )
+    result.notes.append(
+        "workload cells are memoized in the results warehouse by "
+        "canonical workload hash; with --cache-dir a re-run replays "
+        "from the store in milliseconds"
+    )
+    _note_cache_stats(result, runner)
+    return result

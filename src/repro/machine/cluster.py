@@ -110,3 +110,64 @@ class Cluster:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Cluster({self.n_nodes} nodes x {self.nodes[0].cores} cores)"
+
+
+class ClusterSlice:
+    """One job's view of a shared cluster: a node subset, shared storage.
+
+    A batch-queue allocation carves ``node_indices`` out of a parent
+    :class:`Cluster` while the NFS server, parallel file system and file
+    store stay the *parent's* — so every job scheduled onto the same
+    cluster books reservations on one shared set of filesystem timelines
+    and cross-job contention emerges instead of being modeled per job.
+    The slice quacks like a :class:`Cluster` for the consumers a job
+    needs (the multirank engine, the distribution overlay, MPI
+    sessions): ``nodes[i]`` is the job's *local* node ``i``.
+    """
+
+    def __init__(self, cluster: Cluster, node_indices: "list[int] | tuple[int, ...] | range") -> None:
+        indices = list(node_indices)
+        if not indices:
+            raise ConfigError("a cluster slice needs at least one node")
+        if len(set(indices)) != len(indices):
+            raise ConfigError(f"duplicate node indices in slice: {indices}")
+        for index in indices:
+            if not 0 <= index < cluster.n_nodes:
+                raise ConfigError(
+                    f"slice node {index} outside the {cluster.n_nodes}-node "
+                    f"cluster"
+                )
+        self.parent = cluster
+        self.node_indices = tuple(indices)
+        self.nodes = [cluster.nodes[index] for index in indices]
+        self.costs = cluster.costs
+        self.nfs = cluster.nfs
+        self.pfs = cluster.pfs
+        self.file_store = cluster.file_store
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes in the slice (the job's local node count)."""
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across the slice."""
+        return sum(node.cores for node in self.nodes)
+
+    def validate_job_size(self, n_tasks: int) -> None:
+        """Reject jobs that do not fit the slice's cores (srun refuses
+        to oversubscribe; so does the simulator)."""
+        if n_tasks < 1:
+            raise ConfigError(f"need at least one task, got {n_tasks}")
+        if n_tasks > self.total_cores:
+            raise ConfigError(
+                f"{n_tasks} tasks do not fit the {self.n_nodes}-node slice "
+                f"({self.total_cores} cores total)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterSlice({self.n_nodes} of {self.parent.n_nodes} nodes: "
+            f"{self.node_indices})"
+        )

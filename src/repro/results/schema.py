@@ -134,10 +134,13 @@ def extract_columns(result: object) -> dict:
     """The typed-column view of one sweep result (duck-typed).
 
     :class:`~repro.core.job.JobReport`-shaped results fill the full
-    per-rank/staging/startup percentile set; staging summaries
-    (``mitigation_scaled``'s :class:`StagingSummary`) fill the staging
-    columns; anything else stores payload-only with an empty metric
-    set.  Returns a dict of ``METRIC_COLUMNS`` values plus
+    per-rank/staging/startup percentile set; workload reports
+    (:class:`~repro.workload.report.WorkloadReport`) map the shared
+    columns onto the batch-queue view (makespan as ``total_max``, the
+    worst tenant's pooled cold-start p95 as ``startup_p95``); staging
+    summaries (``mitigation_scaled``'s :class:`StagingSummary`) fill
+    the staging columns; anything else stores payload-only with an
+    empty metric set.  Returns a dict of ``METRIC_COLUMNS`` values plus
     ``metrics_json`` — every numeric attribute the result exposes, so
     kind-specific extras (source reads, relay sends) stay queryable.
     """
@@ -153,6 +156,37 @@ def extract_columns(result: object) -> dict:
             columns[name] = value
             if value is not None:
                 metrics[name] = value
+    elif hasattr(result, "tenants") and hasattr(result, "jobs"):
+        # WorkloadReport: the batch-queue view of the shared columns.
+        # This arm must precede the StagingSummary one — workload
+        # reports also expose ``makespan_s``.
+        columns["engine"] = "workload"
+        columns["n_nodes"] = _number(getattr(result, "n_nodes", None))
+        columns["total_max"] = _number(getattr(result, "makespan_s", None))
+        columns["startup_p95"] = _number(
+            getattr(result, "startup_p95_s", None)
+        )
+        for name in (
+            "n_jobs",
+            "cores_per_node",
+            "makespan_s",
+            "fairness_spread",
+            "wait_p95_s",
+            "startup_p95_s",
+            "engine_steps",
+        ):
+            value = _number(getattr(result, name, None))
+            if value is not None:
+                metrics[name] = value
+        for tenant in getattr(result, "tenants", ()):
+            for name in (
+                "wait_p95_s",
+                "startup_p95_s",
+                "slowdown_p95",
+            ):
+                value = _number(getattr(tenant, name, None))
+                if value is not None:
+                    metrics[f"tenant[{tenant.name}].{name}"] = value
     elif hasattr(result, "makespan_s") and hasattr(result, "strategy"):
         # StagingSummary: staging-phase columns under the shared names.
         columns["distribution"] = result.strategy

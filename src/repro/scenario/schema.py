@@ -253,6 +253,17 @@ def _validate(value: object, schema: Mapping, path: str) -> None:
                 _validate(item, additional, f"{path}.{key}")
 
 
+def validate_document(data: object, schema: Mapping, path: str = "document") -> None:
+    """Validate any document against a schema with the built-in interpreter.
+
+    The public spelling of the walker behind :func:`validate_spec_dict`,
+    for sibling schemas that *embed* :data:`SCENARIO_JSON_SCHEMA` (the
+    workload layer's ``WORKLOAD_JSON_SCHEMA``) so one interpreter serves
+    every published document shape.  ``path`` prefixes error messages.
+    """
+    _validate(data, schema, path)
+
+
 def validate_spec_dict(data: object) -> None:
     """Validate a spec document against :data:`SCENARIO_JSON_SCHEMA`.
 

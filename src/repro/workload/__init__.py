@@ -1,0 +1,64 @@
+"""Multi-tenant workloads: batch-queue scheduling on one shared timeline.
+
+The paper measures one job's startup storm; this package asks the
+production question — many jobs, one NFS server.  A
+:class:`WorkloadSpec` declares a tenant mix (job scenario x seeded
+arrival process x job count), :class:`ClusterQueue` places jobs onto a
+shared cluster (FIFO or EASY backfill), :class:`WorkloadEngine`
+interleaves every placed job's ranks on one event loop over shared
+filesystem reservation timelines, and :func:`run_workload` memoizes the
+resulting :class:`WorkloadReport` in the results warehouse under the
+workload hash.
+"""
+
+from repro.workload.arrivals import arrival_times
+from repro.workload.engine import WorkloadEngine
+from repro.workload.presets import (
+    WORKLOAD_PRESETS,
+    register_workload,
+    rush_hour_job,
+    workload_preset,
+    workload_preset_names,
+)
+from repro.workload.queue import ClusterQueue, Placement, QueuedJob
+from repro.workload.report import (
+    JobOutcome,
+    TenantSummary,
+    WorkloadReport,
+    cold_start_values,
+)
+from repro.workload.run import run_workload
+from repro.workload.spec import (
+    ARRIVALS,
+    POLICIES,
+    WORKLOAD_JSON_SCHEMA,
+    WORKLOAD_VERSION,
+    TenantSpec,
+    WorkloadSpec,
+    validate_workload_dict,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "POLICIES",
+    "WORKLOAD_JSON_SCHEMA",
+    "WORKLOAD_PRESETS",
+    "WORKLOAD_VERSION",
+    "ClusterQueue",
+    "JobOutcome",
+    "Placement",
+    "QueuedJob",
+    "TenantSpec",
+    "TenantSummary",
+    "WorkloadEngine",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "arrival_times",
+    "cold_start_values",
+    "register_workload",
+    "run_workload",
+    "rush_hour_job",
+    "validate_workload_dict",
+    "workload_preset",
+    "workload_preset_names",
+]

@@ -1,0 +1,44 @@
+"""Seeded arrival processes for tenant job streams.
+
+Each tenant's arrival times are drawn from a *fork* of the workload
+seed labeled with the tenant's name, so they are (a) identical across
+processes for a given :class:`~repro.workload.spec.WorkloadSpec` — the
+determinism the warehouse cache key relies on — and (b) independent of
+tenant order: adding a tenant never perturbs another tenant's draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.rng import SeededRng
+from repro.workload.spec import TenantSpec
+
+
+def arrival_times(tenant: TenantSpec, rng: SeededRng) -> list[float]:
+    """The tenant's ``n_jobs`` arrival times, nondecreasing, in seconds.
+
+    ``rng`` is the *workload-level* RNG; the tenant's draws come from
+    ``rng.fork(f"arrivals:{tenant.name}")`` (forks are pure, so calling
+    order elsewhere cannot perturb them).
+    """
+    fork = rng.fork(f"arrivals:{tenant.name}")
+    if tenant.arrival == "burst":
+        return [tenant.start_s] * tenant.n_jobs
+    if tenant.arrival == "fixed":
+        assert tenant.interval_s is not None  # validated at construction
+        return [
+            tenant.start_s + index * tenant.interval_s
+            for index in range(tenant.n_jobs)
+        ]
+    # Poisson process: exponential inter-arrival gaps via inverse CDF.
+    assert tenant.rate_per_s is not None  # validated at construction
+    times: list[float] = []
+    now = tenant.start_s
+    for _ in range(tenant.n_jobs):
+        # uniform() spans the closed interval; clamp away u == 1.0 so
+        # log1p(-u) stays finite.
+        u = min(fork.uniform(0.0, 1.0), 1.0 - 1e-12)
+        now += -math.log1p(-u) / tenant.rate_per_s
+        times.append(now)
+    return times

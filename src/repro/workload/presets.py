@@ -1,0 +1,137 @@
+"""Named workload presets, mirroring the scenario preset registry."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import PynamicConfig
+from repro.dist.topology import DistributionSpec, Topology
+from repro.errors import ConfigError
+from repro.scenario.spec import ScenarioSpec
+from repro.workload.spec import TenantSpec, WorkloadSpec
+
+WORKLOAD_PRESETS: dict[str, Callable[[], WorkloadSpec]] = {}
+
+
+def register_workload(
+    name: str,
+) -> Callable[[Callable[[], WorkloadSpec]], Callable[[], WorkloadSpec]]:
+    """Register a zero-argument factory under ``name``."""
+
+    def decorator(
+        factory: Callable[[], WorkloadSpec]
+    ) -> Callable[[], WorkloadSpec]:
+        if name in WORKLOAD_PRESETS:
+            raise ConfigError(f"duplicate workload preset {name!r}")
+        WORKLOAD_PRESETS[name] = factory
+        return factory
+
+    return decorator
+
+
+def workload_preset(name: str) -> WorkloadSpec:
+    """Build the preset registered under ``name``."""
+    try:
+        factory = WORKLOAD_PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload preset {name!r}; available: "
+            f"{sorted(WORKLOAD_PRESETS)}"
+        ) from None
+    return factory()
+
+
+def workload_preset_names() -> list[str]:
+    """Names of all registered workload presets."""
+    return sorted(WORKLOAD_PRESETS)
+
+
+def rush_hour_job(n_tasks: int = 8) -> ScenarioSpec:
+    """The tenant job the rush-hour workloads replay.
+
+    One rank per node (the paper's launch-storm worst case: every rank
+    is a *first* toucher, nothing coalesces), cold caches, a mid-sized
+    library set — small enough that an 8-job burst simulates in
+    seconds, big enough that its DLL reads meaningfully occupy the NFS
+    reservation timeline.
+    """
+    return ScenarioSpec(
+        config=PynamicConfig(
+            n_modules=10,
+            n_utilities=8,
+            avg_functions=24,
+            avg_body_instructions=40,
+            seed=11,
+            name_length=0,
+        ),
+        engine="multirank",
+        n_tasks=n_tasks,
+        cores_per_node=1,
+    )
+
+
+@register_workload("rush_hour")
+def rush_hour() -> WorkloadSpec:
+    """8 simultaneous cold launches on 64 nodes, demand-paged from NFS.
+
+    The acceptance scenario: every job's every node pulls the DLL set
+    through the one shared NFS timeline at t=0.
+    """
+    return WorkloadSpec(
+        tenants=(
+            TenantSpec(name="storm", scenario=rush_hour_job(), n_jobs=8),
+        ),
+        n_nodes=64,
+        policy="fifo",
+    )
+
+
+@register_workload("rush_hour_broadcast")
+def rush_hour_broadcast() -> WorkloadSpec:
+    """The same 8-job burst, staged by pipelined binomial broadcast.
+
+    Each job's overlay reads the set from NFS once per *job* (at the
+    tree root) instead of once per node, so cross-job NFS pressure
+    drops by ~the job width.
+    """
+    broadcast = rush_hour_job().with_(
+        distribution=DistributionSpec(
+            topology=Topology.BINOMIAL, pipelined=True, chunk_bytes=1 << 20
+        )
+    )
+    return WorkloadSpec(
+        tenants=(
+            TenantSpec(name="storm", scenario=broadcast, n_jobs=8),
+        ),
+        n_nodes=64,
+        policy="fifo",
+    )
+
+
+@register_workload("mixed_tenants")
+def mixed_tenants() -> WorkloadSpec:
+    """A contended mixed queue for the backfill policy.
+
+    A wide burst tenant occupies most of a small cluster while a
+    steady Poisson stream of narrow jobs arrives behind it — the shape
+    where EASY backfill visibly beats FIFO on wait times.
+    """
+    return WorkloadSpec(
+        tenants=(
+            TenantSpec(
+                name="wide_burst",
+                scenario=rush_hour_job(n_tasks=12),
+                n_jobs=2,
+            ),
+            TenantSpec(
+                name="narrow_stream",
+                scenario=rush_hour_job(n_tasks=2),
+                n_jobs=6,
+                arrival="poisson",
+                rate_per_s=0.5,
+            ),
+        ),
+        n_nodes=16,
+        policy="backfill",
+        seed=3,
+    )

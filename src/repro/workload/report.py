@@ -1,0 +1,210 @@
+"""Digest reports for workload runs.
+
+Everything here is a frozen, picklable dataclass of scalars and tuples —
+the shape the results warehouse memoizes under the workload hash, and
+small enough to ship across the sweep runner's process pool.  Per-rank
+detail stays inside the engine; what survives is what the paper's
+multi-tenant question needs: who waited, whose startup the storm hit,
+and how unfair the queue was about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.job import JobReport, percentile
+from repro.errors import ConfigError
+
+
+def cold_start_values(report: JobReport) -> list[float]:
+    """Per-rank launch-to-application-start durations, in seconds.
+
+    ``startup_s + import_s``: CPython dlopens extension DLLs at
+    *import*, so the paper's cold-start storm spans both the
+    interpreter's own load-time linking and the import phase that maps
+    the generated module set — and that sum is what the tenant
+    summaries' ``startup_*`` percentiles pool, both for workload runs
+    and for the solo baselines they are compared against.
+    """
+    return [rank.startup_s + rank.import_s for rank in report.per_rank]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's life on the shared timeline (all times in seconds).
+
+    ``wait_s`` is queue wait (start - arrival); ``run_s`` is service
+    (end - start, including the MPI phase); ``slowdown`` is response
+    over service, ``(end - arrival) / run_s`` — 1.0 for a job that
+    never waited, and estimate-free so FIFO and backfill report the
+    same metric.  Startup/staging figures are durations from the job's
+    own start, so jobs launched at different times compare directly.
+    """
+
+    job_id: int
+    tenant: str
+    job_index: int
+    n_nodes: int
+    node_indices: tuple[int, ...]
+    arrival_s: float
+    start_s: float
+    end_s: float
+    startup_p95_s: float
+    startup_max_s: float
+    staging_max_s: float
+    total_max_s: float
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait: virtual seconds between arrival and launch."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def run_s(self) -> float:
+        """Service time: launch to last rank done (incl. MPI phase)."""
+        return self.end_s - self.start_s
+
+    @property
+    def slowdown(self) -> float:
+        """Response over service time (>= 1.0)."""
+        if self.run_s <= 0:
+            return 1.0
+        return (self.end_s - self.arrival_s) / self.run_s
+
+
+@dataclass(frozen=True)
+class TenantSummary:
+    """Percentile digest of one tenant's jobs.
+
+    The ``startup_*`` percentiles pool :func:`cold_start_values` over
+    *every rank* of every job the tenant ran (not per-job maxima), so
+    they compare directly against the same scenario run solo through
+    the same helper.
+    """
+
+    name: str
+    n_jobs: int
+    wait_p50_s: float
+    wait_p95_s: float
+    wait_max_s: float
+    startup_p50_s: float
+    startup_p95_s: float
+    startup_max_s: float
+    staging_p95_s: float
+    slowdown_p50: float
+    slowdown_p95: float
+    run_mean_s: float
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """What one workload run measured, keyed by its spec hash.
+
+    ``fairness_spread`` is p95/p50 of per-job slowdowns across *all*
+    jobs — 1.0 when the queue treats everyone alike, growing as some
+    jobs' responses stretch relative to the median.
+    """
+
+    workload_hash: str
+    policy: str
+    n_nodes: int
+    cores_per_node: int
+    makespan_s: float
+    jobs: tuple[JobOutcome, ...] = ()
+    tenants: tuple[TenantSummary, ...] = ()
+    engine_steps: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+
+    @property
+    def n_jobs(self) -> int:
+        """Jobs completed on the shared timeline."""
+        return len(self.jobs)
+
+    @property
+    def fairness_spread(self) -> float:
+        """p95 / p50 of per-job slowdowns (1.0 = perfectly even)."""
+        slowdowns = [job.slowdown for job in self.jobs]
+        if not slowdowns:
+            return 1.0
+        median = percentile(slowdowns, 50)
+        if median <= 0:
+            return 1.0
+        return percentile(slowdowns, 95) / median
+
+    @property
+    def wait_p95_s(self) -> float:
+        """p95 queue wait across all jobs."""
+        waits = [job.wait_s for job in self.jobs]
+        return percentile(waits, 95) if waits else 0.0
+
+    @property
+    def startup_p95_s(self) -> float:
+        """Worst tenant's pooled startup p95 — the storm's headline."""
+        if not self.tenants:
+            return 0.0
+        return max(tenant.startup_p95_s for tenant in self.tenants)
+
+    def tenant(self, name: str) -> TenantSummary:
+        """The named tenant's summary."""
+        for summary in self.tenants:
+            if summary.name == name:
+                return summary
+        raise ConfigError(
+            f"no tenant {name!r} in this report; tenants: "
+            f"{[t.name for t in self.tenants]}"
+        )
+
+    def to_json_dict(self) -> dict:
+        """JSON-ready digest (CLI ``workload run --json``)."""
+        return {
+            "workload_hash": self.workload_hash,
+            "policy": self.policy,
+            "n_nodes": self.n_nodes,
+            "cores_per_node": self.cores_per_node,
+            "n_jobs": self.n_jobs,
+            "makespan_s": self.makespan_s,
+            "fairness_spread": self.fairness_spread,
+            "wait_p95_s": self.wait_p95_s,
+            "startup_p95_s": self.startup_p95_s,
+            "engine_steps": self.engine_steps,
+            "tenants": [
+                {
+                    "name": t.name,
+                    "n_jobs": t.n_jobs,
+                    "wait_p50_s": t.wait_p50_s,
+                    "wait_p95_s": t.wait_p95_s,
+                    "wait_max_s": t.wait_max_s,
+                    "startup_p50_s": t.startup_p50_s,
+                    "startup_p95_s": t.startup_p95_s,
+                    "startup_max_s": t.startup_max_s,
+                    "staging_p95_s": t.staging_p95_s,
+                    "slowdown_p50": t.slowdown_p50,
+                    "slowdown_p95": t.slowdown_p95,
+                    "run_mean_s": t.run_mean_s,
+                }
+                for t in self.tenants
+            ],
+            "jobs": [
+                {
+                    "job_id": j.job_id,
+                    "tenant": j.tenant,
+                    "job_index": j.job_index,
+                    "n_nodes": j.n_nodes,
+                    "node_indices": list(j.node_indices),
+                    "arrival_s": j.arrival_s,
+                    "start_s": j.start_s,
+                    "end_s": j.end_s,
+                    "wait_s": j.wait_s,
+                    "run_s": j.run_s,
+                    "slowdown": j.slowdown,
+                    "startup_p95_s": j.startup_p95_s,
+                    "startup_max_s": j.startup_max_s,
+                    "staging_max_s": j.staging_max_s,
+                    "total_max_s": j.total_max_s,
+                }
+                for j in self.jobs
+            ],
+        }

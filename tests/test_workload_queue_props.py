@@ -1,0 +1,202 @@
+"""Property suite for the batch queue's placement invariants.
+
+The queue is a pure placement engine, so hypothesis can drive it with
+synthetic job streams and check the safety properties the workload
+engine relies on directly:
+
+- **no oversubscription** — running jobs always hold disjoint, in-range
+  node sets, and free + held always accounts for every node;
+- **no starvation** — under both policies, a driver loop that releases
+  the earliest-ending running job always drains the queue;
+- **FIFO order** — strict arrival order of start times under ``fifo``;
+- **backfill safety** — a backfilled job never delays the queue head
+  past its shadow reservation;
+- **determinism** — the same stream replays to the same placements.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workload.queue import ClusterQueue, Placement, QueuedJob
+
+N_NODES = 8
+
+#: One synthetic job: (node demand, runtime estimate).
+job_strategy = st.tuples(
+    st.integers(min_value=1, max_value=N_NODES),
+    st.floats(
+        min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+stream_strategy = st.lists(job_strategy, min_size=1, max_size=24)
+
+policy_strategy = st.sampled_from(["fifo", "backfill"])
+
+
+def make_jobs(stream):
+    return [
+        QueuedJob(job_id=index, n_nodes=demand, est_runtime_s=runtime)
+        for index, (demand, runtime) in enumerate(stream)
+    ]
+
+
+def check_allocation_invariant(queue, held):
+    """Free and held node sets partition the cluster exactly."""
+    all_held = [index for indices in held.values() for index in indices]
+    assert len(all_held) == len(set(all_held)), "node double-allocated"
+    assert all(0 <= index < N_NODES for index in all_held)
+    assert queue.free_nodes + len(all_held) == N_NODES
+
+
+def drive(queue, jobs):
+    """Submit-all-then-drain driver; returns (start, end) per job id.
+
+    Completions release the earliest-estimated-end running job first
+    (ties by id), mirroring the workload engine's event order.
+    """
+    held = {}
+    starts = {}
+    ends = {}
+    clock = 0.0
+
+    def absorb(placements, now):
+        for placement in placements:
+            held[placement.job.job_id] = placement.node_indices
+            starts[placement.job.job_id] = now
+        check_allocation_invariant(queue, held)
+
+    for job in jobs:
+        queue.submit(job)
+        absorb(queue.schedule(clock), clock)
+    guard = 0
+    while queue.pending or queue.running_ids:
+        guard += 1
+        assert guard <= 4 * len(jobs) + 4, "queue failed to drain"
+        assert queue.running_ids, "pending jobs but nothing running"
+        ending = min(
+            queue.running_ids,
+            key=lambda job_id: (
+                starts[job_id] + jobs[job_id].est_runtime_s,
+                job_id,
+            ),
+        )
+        clock = max(clock, starts[ending] + jobs[ending].est_runtime_s)
+        queue.release(ending)
+        ends[ending] = clock
+        del held[ending]
+        absorb(queue.schedule(clock), clock)
+    return starts, ends
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=stream_strategy, policy=policy_strategy)
+def test_every_job_is_placed_and_nodes_never_oversubscribed(stream, policy):
+    jobs = make_jobs(stream)
+    queue = ClusterQueue(N_NODES, policy)
+    starts, ends = drive(queue, jobs)
+    # No starvation: every submitted job started and finished.
+    assert sorted(starts) == list(range(len(jobs)))
+    assert sorted(ends) == list(range(len(jobs)))
+    assert queue.free_nodes == N_NODES
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=stream_strategy)
+def test_fifo_starts_jobs_in_arrival_order(stream):
+    jobs = make_jobs(stream)
+    starts, _ = drive(ClusterQueue(N_NODES, "fifo"), jobs)
+    order = sorted(starts, key=lambda job_id: (starts[job_id], job_id))
+    assert order == list(range(len(jobs)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=stream_strategy, policy=policy_strategy)
+def test_same_stream_replays_to_identical_placements(stream, policy):
+    jobs = make_jobs(stream)
+    first = drive(ClusterQueue(N_NODES, policy), jobs)
+    second = drive(ClusterQueue(N_NODES, policy), jobs)
+    assert first == second
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=stream_strategy)
+def test_backfill_head_starts_by_its_shadow_reservation(stream):
+    """EASY's promise: backfill never delays a blocked head.
+
+    With exact runtime estimates (the driver releases each job at
+    ``start + est``), a blocked head must start no later than the
+    shadow time computed while it waits — a backfilled job either ends
+    by then or touches only spare nodes, so the reservation holds.
+    """
+    jobs = make_jobs(stream)
+    queue = ClusterQueue(N_NODES, "backfill")
+    held = {}
+    starts = {}
+    #: job_id -> tightest shadow bound observed while it headed the queue.
+    bounds = {}
+    clock = 0.0
+
+    def absorb(now):
+        for placement in queue.schedule(now):
+            held[placement.job.job_id] = placement.node_indices
+            starts[placement.job.job_id] = now
+        check_allocation_invariant(queue, held)
+        if queue.pending:
+            head = queue.pending[0]
+            shadow_s, _ = queue._shadow(head)
+            bounds[head.job_id] = min(
+                bounds.get(head.job_id, float("inf")), shadow_s
+            )
+
+    for job in jobs:
+        queue.submit(job)
+        absorb(clock)
+    guard = 0
+    while queue.pending or queue.running_ids:
+        guard += 1
+        assert guard <= 4 * len(jobs) + 4, "queue failed to drain"
+        ending = min(
+            queue.running_ids,
+            key=lambda job_id: (
+                starts[job_id] + jobs[job_id].est_runtime_s,
+                job_id,
+            ),
+        )
+        clock = max(clock, starts[ending] + jobs[ending].est_runtime_s)
+        queue.release(ending)
+        del held[ending]
+        absorb(clock)
+    assert sorted(starts) == list(range(len(jobs)))
+    for job_id, bound in bounds.items():
+        assert starts[job_id] <= bound + 1e-6, (job_id, bound)
+
+
+def test_submit_rejects_oversized_and_duplicate_jobs():
+    queue = ClusterQueue(4)
+    with pytest.raises(ConfigError, match="4"):
+        queue.submit(QueuedJob(job_id=0, n_nodes=5))
+    queue.submit(QueuedJob(job_id=1, n_nodes=2))
+    with pytest.raises(ConfigError, match="duplicate"):
+        queue.submit(QueuedJob(job_id=1, n_nodes=1))
+
+
+def test_release_rejects_unknown_job():
+    queue = ClusterQueue(2)
+    with pytest.raises(ConfigError, match="not running"):
+        queue.release(7)
+
+
+def test_placements_take_lowest_free_indices():
+    queue = ClusterQueue(4)
+    queue.submit(QueuedJob(job_id=0, n_nodes=2))
+    queue.submit(QueuedJob(job_id=1, n_nodes=2))
+    placements = queue.schedule(0.0)
+    assert [p.node_indices for p in placements] == [(0, 1), (2, 3)]
+    queue.release(0)
+    queue.submit(QueuedJob(job_id=2, n_nodes=1))
+    assert queue.schedule(1.0) == [
+        Placement(QueuedJob(job_id=2, n_nodes=1), (0,))
+    ]
