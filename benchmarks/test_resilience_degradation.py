@@ -1,0 +1,69 @@
+"""Resilience experiment: degradation-shape asserts at smoke size.
+
+The full sweep (32 nodes, four failure rates, tier-2 CI with the sweep
+warehouse) takes tens of seconds cold; this tier-1 benchmark runs the
+same experiment at smoke scale and pins the claims the sweep exists to
+make: staging-time degradation is monotone in the relay failure rate
+for every topology, the zero-fault point shows zero recovery activity,
+faulted cells actually re-fetch bytes, and NFS brownouts inflate the
+broadcast by more than the crash path does.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+from repro.harness.resilience import (
+    SMOKE_BROWNOUT_FACTORS,
+    SMOKE_FAILURE_RATES,
+)
+
+TOPOLOGIES = ("flat", "binomial", "kary4")
+
+
+@pytest.fixture(scope="module")
+def resilience_result():
+    return run_experiment("resilience", smoke=True)
+
+
+def test_degradation_is_monotone_in_failure_rate(resilience_result):
+    metrics = resilience_result.metrics
+    for topology in TOPOLOGIES:
+        staging = [
+            metrics[f"staging_s[{topology}][{rate}]"]
+            for rate in SMOKE_FAILURE_RATES
+        ]
+        assert staging == sorted(staging), (
+            f"{topology}: staging time not monotone in failure rate"
+        )
+
+
+def test_zero_fault_point_has_no_recovery_activity(resilience_result):
+    metrics = resilience_result.metrics
+    for topology in TOPOLOGIES:
+        assert metrics[f"recoveries[{topology}][0.0]"] == 0
+        assert metrics[f"refetched_bytes[{topology}][0.0]"] == 0
+        assert metrics[f"degradation[{topology}][0.0]"] == 1.0
+
+
+def test_faulted_cells_recover_and_refetch(resilience_result):
+    metrics = resilience_result.metrics
+    worst = SMOKE_FAILURE_RATES[-1]
+    for topology in TOPOLOGIES:
+        assert metrics[f"recoveries[{topology}][{worst}]"] >= 1
+        assert metrics[f"refetched_bytes[{topology}][{worst}]"] > 0
+        assert metrics[f"degradation[{topology}][{worst}]"] >= 1.0
+
+
+def test_brownout_inflates_the_broadcast(resilience_result):
+    metrics = resilience_result.metrics
+    for factor in SMOKE_BROWNOUT_FACTORS:
+        # Halving the NFS pipe must cost visibly more than the crash
+        # path (the whole source pass slows, not one subtree).
+        assert metrics[f"brownout_inflation[{factor}]"] > 1.2
+
+
+def test_every_cell_declared_as_spec(resilience_result):
+    expected = len(TOPOLOGIES) * len(SMOKE_FAILURE_RATES) + len(
+        SMOKE_BROWNOUT_FACTORS
+    )
+    assert len(resilience_result.scenarios) == expected

@@ -33,6 +33,7 @@ from repro.core.runner import BenchmarkRunner
 from repro.core.specs import BenchmarkSpec
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
+from repro.faults.metrics import DegradationStats
 from repro.machine.cluster import Cluster
 from repro.machine.osprofile import OsProfile
 from repro.machine.scheduler import EngineStats
@@ -78,6 +79,11 @@ class JobReport:
     #: ``None`` on the analytic path and on reports unpickled from rows
     #: written before the field existed (the class default covers them).
     engine_stats: EngineStats | None = field(default=None, repr=False)
+    #: Fault-injection accounting (recovery events, re-fetched bytes,
+    #: staging inflation vs the fault-free twin).  ``None`` on every
+    #: fault-free run — an empty :class:`FaultSpec` normalizes away at
+    #: the spec layer, so the twin report stays bit-identical.
+    degradation: DegradationStats | None = field(default=None, repr=False)
 
     def _values(self, attr: str) -> list[float]:
         reports = self.per_rank if self.per_rank else [self.rank0]
@@ -243,6 +249,7 @@ class PynamicJob:
             hash_style=scenario_spec.hash_style,
             prelink=scenario_spec.prelink,
             distribution=scenario_spec.distribution,
+            faults=scenario_spec.faults,
         )
         job.scenario_spec = scenario_spec
         return job
@@ -261,6 +268,7 @@ class PynamicJob:
         hash_style: HashStyle = HashStyle.SYSV,
         prelink: bool = False,
         distribution: "object | None" = None,
+        faults: "object | None" = None,
     ) -> None:
         if n_tasks < 1:
             raise ConfigError(f"need at least one task, got {n_tasks}")
@@ -274,6 +282,11 @@ class PynamicJob:
             raise ConfigError(
                 "distribution overlays require engine='multirank'"
             )
+        if faults is not None and engine != "multirank":
+            raise ConfigError(
+                "faults require engine='multirank' (fault injection runs "
+                "on the discrete-event engine)"
+            )
         self.config = config
         self.spec = spec
         self.mode = mode
@@ -286,6 +299,7 @@ class PynamicJob:
         self.hash_style = hash_style
         self.prelink = prelink
         self.distribution = distribution
+        self.faults = faults
         self.n_nodes = max(1, -(-n_tasks // cores_per_node))  # ceil
         self._scenario_spec: "object | None" = None
         self._scenario_spec_known = False
@@ -325,6 +339,7 @@ class PynamicJob:
                 hash_style=self.hash_style,
                 prelink=self.prelink,
                 distribution=self.distribution,
+                faults=self.faults,
             )
         except ConfigError:
             return None
@@ -347,6 +362,7 @@ class PynamicJob:
                 hash_style=self.hash_style,
                 prelink=self.prelink,
                 distribution=self.distribution,  # type: ignore[arg-type]
+                faults=self.faults,  # type: ignore[arg-type]
             ).run()
         cluster = Cluster(n_nodes=self.n_nodes, cores_per_node=self.cores_per_node)
         # Every node's pager hits the NFS server during cold loading.

@@ -32,6 +32,8 @@ from repro.dist.overlay import DistributionOverlay, StagingPlan
 from repro.dist.topology import DistributionSpec
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError, DriverError
+from repro.faults.metrics import DegradationStats
+from repro.faults.spec import FaultSpec
 from repro.linker.dynamic import DynamicLinker
 from repro.machine.cluster import Cluster, ClusterSlice
 from repro.machine.context import ExecutionContext
@@ -274,6 +276,7 @@ class MultiRankJob:
             prelink=scenario_spec.prelink,
             batch_homogeneous=batch_homogeneous,
             distribution=scenario_spec.distribution,
+            faults=scenario_spec.faults,
         )
 
     def __init__(
@@ -290,6 +293,7 @@ class MultiRankJob:
         prelink: bool = False,
         batch_homogeneous: bool = True,
         distribution: DistributionSpec | None = None,
+        faults: FaultSpec | None = None,
     ) -> None:
         if spec is None and config is None:
             raise ConfigError("provide a config or a pre-generated spec")
@@ -308,6 +312,19 @@ class MultiRankJob:
         self.prelink = prelink
         self.batch_homogeneous = batch_homogeneous
         self.distribution = distribution
+        # An empty fault spec is the fault-free job (the scenario layer
+        # normalizes it away too; this covers direct constructor use).
+        if faults is not None and faults.empty:
+            faults = None
+        if faults is not None and (faults.crashes or faults.links) and (
+            distribution is None
+        ):
+            raise ConfigError(
+                "faults: crashes and link faults act on the distribution "
+                "overlay's relay daemons — set a distribution (brownouts "
+                "alone work without one)"
+            )
+        self.faults = faults
         #: True once :meth:`run` took the warm homogeneous fast path.
         self.batched = False
         #: True once :meth:`run` batched cold co-resident cache-hit ranks.
@@ -420,6 +437,7 @@ class MultiRankJob:
             network=NetworkModel(),
             straggler_nodes=self.scenario.straggler_nodes,
             straggler_slowdown=self.scenario.straggler_slowdown,
+            faults=self.faults,
         )
         return overlay.stage(list(build.images.values()), start_s=start_s)
 
@@ -463,6 +481,18 @@ class MultiRankJob:
         else:
             view = cluster
         view.validate_job_size(self.n_tasks)
+        if self.faults is not None and self.faults.brownouts:
+            # Degraded-capacity windows cover staging *and* the ranks'
+            # demand reads; identical windows declared by co-tenant jobs
+            # on the shared filesystems are idempotent.
+            for fs, target in ((view.nfs, "nfs"), (view.pfs, "pfs")):
+                windows = [
+                    window
+                    for window in self.faults.brownouts
+                    if window.target == target
+                ]
+                if windows:
+                    fs.add_brownouts(windows)
         build = build_benchmark(
             self.spec, view.nfs, self.mode, hash_style=self.hash_style
         )
@@ -552,6 +582,23 @@ class MultiRankJob:
                 staging_per_node = None
             nfs_windows, nfs_bookings = view.nfs.timeline_stats()
             pfs_windows, pfs_bookings = view.pfs.timeline_stats()
+            if self.faults is not None:
+                degradation = DegradationStats(
+                    recovery_events=(
+                        plan.recovery_events if plan is not None else ()
+                    ),
+                    refetched_bytes=(
+                        plan.refetched_bytes if plan is not None else 0
+                    ),
+                    crashed_relays=(
+                        plan.crashed_nodes if plan is not None else ()
+                    ),
+                    link_retries=(
+                        plan.link_retries if plan is not None else 0
+                    ),
+                )
+            else:
+                degradation = None
             return JobReport(
                 n_tasks=self.n_tasks,
                 n_nodes=self.n_nodes,
@@ -571,6 +618,7 @@ class MultiRankJob:
                     pfs_timeline_windows=pfs_windows,
                     pfs_timeline_bookings=pfs_bookings,
                 ),
+                degradation=degradation,
             )
 
         return tasks, finalize

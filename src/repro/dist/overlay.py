@@ -38,11 +38,14 @@ relay sends and zero source reads.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Generator, Iterable, Iterator, Sequence
 
 from repro.dist.topology import DistributionSpec, Topology, children_map
 from repro.errors import ConfigError, DistributionError
+from repro.faults.recovery import RecoveryEvent, recover_overlay
+from repro.faults.spec import FaultSpec, RelayCrash
 from repro.fs.files import FileImage
 from repro.fs.reservation import ReservationTimeline
 from repro.machine.cluster import Cluster
@@ -92,6 +95,15 @@ class StagingPlan:
     #: Batched read requests the source-reading daemons issued (never
     #: exceeds the number of distinct cold images at the root).
     source_reads: int = 0
+    #: Deterministic crash-recovery log (one entry per orphaned or
+    #: restarted relay; empty on a fault-free pass).
+    recovery_events: tuple[RecoveryEvent, ...] = ()
+    #: Bytes staged a second time through the recovery path.
+    refetched_bytes: int = 0
+    #: Relay daemons that crashed during the pass.
+    crashed_nodes: tuple[int, ...] = ()
+    #: Lossy-link resends booked on egress reservations.
+    link_retries: int = 0
 
     @property
     def makespan_s(self) -> float:
@@ -131,6 +143,11 @@ class RelayDaemon(SteppedProgram):
         spawn_s: float,
         chunk_bytes: "int | None" = None,
         start_s: float = 0.0,
+        crash: "RelayCrash | None" = None,
+        loss_probability: float = 0.0,
+        retry_backoff_s: float = 0.0,
+        loss_rng: "random.Random | None" = None,
+        fault_tolerant: bool = False,
     ) -> None:
         self.index = index
         self.node = node
@@ -162,6 +179,25 @@ class RelayDaemon(SteppedProgram):
         self.source_reads = 0
         self.completed = False
         self._blocked = False
+        # -- fault injection state (inert on a fault-free pass) -------
+        #: Scheduled crash for this daemon, if any.
+        self.crash = crash
+        #: Whether any fault is active on the overlay: children of a
+        #: finished-but-incomplete parent break out gracefully (to be
+        #: recovered post-run) instead of raising.
+        self.fault_tolerant = fault_tolerant
+        self.loss_probability = loss_probability
+        self.retry_backoff_s = retry_backoff_s
+        self.loss_rng = loss_rng
+        self.crashed = False
+        self.crash_s = 0.0
+        self.link_retries = 0
+        #: Bytes landed so far — the crash-at-progress trigger.
+        self._landed_bytes = 0
+        self._crash_threshold = None
+        if crash is not None and crash.at_progress is not None:
+            total = sum(image.size_bytes for image in images)
+            self._crash_threshold = math.ceil(crash.at_progress * total)
 
     # -- scheduler interface ------------------------------------------------
     def now(self) -> float:
@@ -192,20 +228,48 @@ class RelayDaemon(SteppedProgram):
         if self.spawn_s > 0.0:
             self.node.clock.add_seconds(self.spawn_s)
             yield
-        if self.warm_paths:
+        if self.crash is not None and self._crash_due():
+            self._die()
+        if not self.crashed and self.warm_paths:
             yield from self._serve_warm_images()
-        if self.reads_source:
-            yield from self._read_from_source()
-        else:
-            yield from self._receive_from_parent()
-        if not self.pipelined:
+        if not self.crashed:
+            if self.reads_source:
+                yield from self._read_from_source()
+            else:
+                yield from self._receive_from_parent()
+        if not self.pipelined and not self.crashed:
             for child in self.children:
                 for image in self.images:
+                    if self.crash is not None and self._crash_due():
+                        self._die()
+                        break
                     if image.path in child.warm_paths:
                         continue
+                    # Under faults this daemon may itself hold only a
+                    # partial set (an upstream crash): forward what
+                    # actually landed; recovery delivers the rest.
+                    if image.path not in self.landed:
+                        continue
                     self._send_image(child, image, synchronous=True)
+                if self.crashed:
+                    break
                 yield
         self.completed = True
+
+    # -- fault injection ----------------------------------------------------
+    def _crash_due(self) -> bool:
+        """Has the scheduled crash trigger been reached?  Checked at
+        landing events (and between store-and-forward sends), so the
+        chunk crossing the threshold still lands locally but is never
+        forwarded."""
+        crash = self.crash
+        if crash.at_s is not None:
+            return self.node.clock.seconds >= crash.at_s
+        return self._landed_bytes >= self._crash_threshold
+
+    def _die(self) -> None:
+        self.crashed = True
+        self.crash_s = self.node.clock.seconds
 
     # -- staging work -------------------------------------------------------
     def _chunks(self, image: FileImage) -> Iterator[tuple[int, int]]:
@@ -227,6 +291,11 @@ class RelayDaemon(SteppedProgram):
             # A pre-warmed cache (reused batch allocation) already holds
             # the image: available since job launch.
             self.landed[image.path] = self.start_s
+            if self.crash is not None:
+                self._landed_bytes += image.size_bytes
+                if self._crash_due():
+                    self._die()
+                    return
             if self.pipelined:
                 yield from self._relay_image(image)
             yield
@@ -238,6 +307,11 @@ class RelayDaemon(SteppedProgram):
             self.node.read_file(source_image)
             self.source_reads += 1
             self.landed[image.path] = self.node.clock.seconds
+            if self.crash is not None:
+                self._landed_bytes += image.size_bytes
+                if self._crash_due():
+                    self._die()
+                    return
             if self.pipelined:
                 yield from self._relay_image(image)
             yield
@@ -272,10 +346,19 @@ class RelayDaemon(SteppedProgram):
         latency = self.network_latency_s
         bandwidth = self.egress_bandwidth_bps
         egress_reserve = self._egress.reserve
+        crash = self.crash
+        loss_p = self.loss_probability
+        loss_rng = self.loss_rng
+        backoff = self.retry_backoff_s
         while len(landed) < n_images:
             message = receive()
             if message is None:
                 if self.parent.completed:
+                    if self.fault_tolerant:
+                        # The feed died upstream: keep the partial set
+                        # and let post-run recovery re-attach us.
+                        self._blocked = False
+                        return
                     raise DistributionError(
                         f"node {self.index} still waits for "
                         f"{n_images - len(landed)} images but "
@@ -298,14 +381,32 @@ class RelayDaemon(SteppedProgram):
                 received_bytes[path] = received
                 if received >= image.size_bytes:
                     landed[path] = clock.cycles / frequency
+                if crash is not None:
+                    self._landed_bytes += size
+                    if self._crash_due():
+                        # The crossing chunk landed; nothing is
+                        # forwarded past the crash.
+                        self._die()
+                        return
                 if pipelined and children:
                     # Cut-through: forward the chunk before the rest of
                     # the image has even arrived.
                     now_s = clock.cycles / frequency
-                    service = latency + size / bandwidth
+                    base_service = latency + size / bandwidth
                     for child in children:
                         if path in child.warm_paths:
                             continue
+                        service = base_service
+                        if loss_p:
+                            attempts = 1
+                            while loss_rng.random() < loss_p:
+                                attempts += 1
+                            if attempts > 1:
+                                self.link_retries += attempts - 1
+                                service = (
+                                    attempts * base_service
+                                    + (attempts - 1) * backoff
+                                )
                         end = egress_reserve(now_s, service) + service
                         child.inbox.deliver(end, chunk)
                         self.relay_sends += 1
@@ -355,6 +456,16 @@ class RelayDaemon(SteppedProgram):
         service = self.network_latency_s + (
             chunk.size / self.egress_bandwidth_bps
         )
+        if self.loss_probability:
+            attempts = 1
+            while self.loss_rng.random() < self.loss_probability:
+                attempts += 1
+            if attempts > 1:
+                self.link_retries += attempts - 1
+                service = (
+                    attempts * service
+                    + (attempts - 1) * self.retry_backoff_s
+                )
         begin = self._egress.reserve(self.node.clock.seconds, service)
         end = begin + service
         if synchronous:
@@ -373,6 +484,7 @@ class DistributionOverlay:
         network: NetworkModel | None = None,
         straggler_nodes: Iterable[int] = (),
         straggler_slowdown: float = 1.0,
+        faults: "FaultSpec | None" = None,
     ) -> None:
         if straggler_slowdown < 1.0:
             raise ConfigError(
@@ -383,6 +495,7 @@ class DistributionOverlay:
         self.network = network or NetworkModel()
         self.straggler_nodes = frozenset(straggler_nodes)
         self.straggler_slowdown = straggler_slowdown
+        self.faults = faults
         self.daemons: list[RelayDaemon] = []
 
     # ------------------------------------------------------------------
@@ -393,6 +506,10 @@ class DistributionOverlay:
             bandwidth /= self.spec.straggler_relay_slowdown
         if index in self.straggler_nodes:
             bandwidth /= self.straggler_slowdown
+        if self.faults is not None:
+            link = self.faults.link_for(index)
+            if link is not None:
+                bandwidth *= link.bandwidth_factor
         return bandwidth
 
     def _source_images(self, images: Sequence[FileImage]) -> list[FileImage]:
@@ -440,30 +557,62 @@ class DistributionOverlay:
                 raise ConfigError(
                     f"straggler relay {index} outside the {n_nodes}-node job"
                 )
+        faults = self.faults
+        if faults is not None:
+            for crash in faults.crashes:
+                if crash.node >= n_nodes:
+                    raise ConfigError(
+                        f"crash node {crash.node} outside the "
+                        f"{n_nodes}-node job"
+                    )
+            for link in faults.links:
+                if link.node >= n_nodes:
+                    raise ConfigError(
+                        f"link-fault node {link.node} outside the "
+                        f"{n_nodes}-node job"
+                    )
         children = children_map(spec.topology, n_nodes, spec.fanout)
         source_images = self._source_images(images)
         flat = spec.topology is Topology.FLAT
-        self.daemons = [
-            RelayDaemon(
-                index=index,
-                node=TimedReadNode(
-                    name=f"{self.cluster.nodes[index].name}:distd",
-                    costs=self.cluster.nodes[index].costs,
-                    buffer_cache=self.cluster.nodes[index].buffer_cache,
-                    cores=1,
-                ),
-                images=images,
-                read_images=source_images,
-                reads_source=flat or index == 0,
-                egress_bandwidth_bps=self._egress_bandwidth(index),
-                network_latency_s=self.network.latency_s,
-                pipelined=spec.pipelined,
-                spawn_s=spec.daemon_spawn_s,
-                chunk_bytes=spec.chunk_bytes,
-                start_s=start_s,
+        self.daemons = []
+        for index in range(n_nodes):
+            crash = link = None
+            if faults is not None:
+                crash = faults.crash_for(index)
+                link = faults.link_for(index)
+            loss_probability = link.loss_probability if link else 0.0
+            self.daemons.append(
+                RelayDaemon(
+                    index=index,
+                    node=TimedReadNode(
+                        name=f"{self.cluster.nodes[index].name}:distd",
+                        costs=self.cluster.nodes[index].costs,
+                        buffer_cache=self.cluster.nodes[index].buffer_cache,
+                        cores=1,
+                    ),
+                    images=images,
+                    read_images=source_images,
+                    reads_source=flat or index == 0,
+                    egress_bandwidth_bps=self._egress_bandwidth(index),
+                    network_latency_s=self.network.latency_s,
+                    pipelined=spec.pipelined,
+                    spawn_s=spec.daemon_spawn_s,
+                    chunk_bytes=spec.chunk_bytes,
+                    start_s=start_s,
+                    crash=crash,
+                    loss_probability=loss_probability,
+                    retry_backoff_s=link.retry_backoff_s if link else 0.0,
+                    # One deterministic stream per node: the loss draws
+                    # do not depend on scheduler interleaving across
+                    # nodes, so the same seed replays bit-identically.
+                    loss_rng=(
+                        random.Random(faults.seed * 1_000_003 + index)
+                        if loss_probability
+                        else None
+                    ),
+                    fault_tolerant=faults is not None,
+                )
             )
-            for index in range(n_nodes)
-        ]
         if start_s > 0.0:
             for daemon in self.daemons:
                 daemon.node.clock.advance_to_seconds(start_s)
@@ -491,6 +640,14 @@ class DistributionOverlay:
             for daemon in self.daemons
         ]
         EventScheduler().run(tasks)
+        recovery_events: tuple[RecoveryEvent, ...] = ()
+        refetched_bytes = 0
+        if faults is not None and any(
+            len(daemon.landed) < len(images) for daemon in self.daemons
+        ):
+            recovery_events, refetched_bytes = recover_overlay(
+                self.daemons, images, source_images, faults.detection_s
+            )
         ready: dict[tuple[int, str], float] = {}
         per_node_done: list[float] = []
         for daemon in self.daemons:
@@ -516,4 +673,10 @@ class DistributionOverlay:
             chunk_bytes=spec.chunk_bytes,
             warm_nodes=warm_nodes,
             source_reads=sum(daemon.source_reads for daemon in self.daemons),
+            recovery_events=recovery_events,
+            refetched_bytes=refetched_bytes,
+            crashed_nodes=tuple(
+                daemon.index for daemon in self.daemons if daemon.crashed
+            ),
+            link_retries=sum(daemon.link_retries for daemon in self.daemons),
         )

@@ -44,6 +44,15 @@ class NodeRouter:
         #: began (a cache-aware warm relay): every routed read is
         #: satisfiable at launch, so the router can never stall.
         self.warm = node_index in plan.warm_nodes
+        #: This node's recovery events, when fault injection re-parented
+        #: or re-fetched its subtree (empty on a clean pass) — ranks on
+        #: a recovered node read landed-times that already include the
+        #: detection delay and the re-fetch itself.
+        self.recovered = tuple(
+            event
+            for event in plan.recovery_events
+            if event.node == node_index
+        )
         #: Observability counters: how often readers actually blocked.
         self.lookups = 0
         self.stalls = 0

@@ -1,0 +1,44 @@
+"""Fault injection and degradation: the resilience layer.
+
+``FaultSpec`` (frozen, JSON-schema'd, canonically hashed) declares the
+seeded faults a scenario injects — relay-daemon crashes mid-broadcast,
+NFS/PFS brownout windows, slow/lossy overlay links.  The overlay's
+crash detection + deterministic recovery lives in
+:mod:`repro.faults.recovery`, the degraded-capacity booking math in
+:mod:`repro.faults.brownout`, and the per-job degradation accounting in
+:mod:`repro.faults.metrics`.
+"""
+
+from repro.faults.brownout import (
+    degraded_end,
+    place_degraded,
+    reserve_degraded,
+    window_triples,
+)
+from repro.faults.metrics import DegradationStats
+from repro.faults.recovery import SOURCE_PARENT, RecoveryEvent, recover_overlay
+from repro.faults.schema import FAULT_JSON_SCHEMA
+from repro.faults.spec import (
+    BROWNOUT_TARGETS,
+    BrownoutWindow,
+    FaultSpec,
+    LinkFault,
+    RelayCrash,
+)
+
+__all__ = [
+    "BROWNOUT_TARGETS",
+    "BrownoutWindow",
+    "DegradationStats",
+    "FAULT_JSON_SCHEMA",
+    "FaultSpec",
+    "LinkFault",
+    "RecoveryEvent",
+    "RelayCrash",
+    "SOURCE_PARENT",
+    "degraded_end",
+    "place_degraded",
+    "recover_overlay",
+    "reserve_degraded",
+    "window_triples",
+]

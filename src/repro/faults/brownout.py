@@ -1,0 +1,100 @@
+"""Degraded-capacity booking math for brownout windows.
+
+A brownout declares a time window during which a shared resource runs
+at a fraction ``factor`` of its nominal capacity.  Instead of mutating
+the resource's bandwidth (which would leak across jobs and break the
+reservation timeline's disjointness), the window *stretches* bookings:
+a request needing ``service`` seconds of full-rate time occupies the
+timeline until the piecewise integral of the capacity multiplier has
+accumulated ``service`` seconds of work.
+
+Windows are ``(start_s, end_s, factor)`` triples with ``factor`` in
+``(0, 1]``, disjoint and sorted by start (validated by
+:class:`repro.faults.spec.FaultSpec`).  Outside every window the rate
+is 1.0, so with no windows the math degenerates to ``begin + service``
+and the fault-free path is bit-identical.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Fixed-point iterations before placement gives up — each iteration
+#: moves the candidate begin past at least one booked window, so a
+#: legitimate timeline converges in far fewer.
+_MAX_PLACEMENTS = 100_000
+
+
+def window_triples(brownouts, attr: str):
+    """Sorted ``(start_s, end_s, factor)`` triples for one capacity kind
+    (``attr`` is ``"bandwidth_factor"`` or ``"iops_factor"``), dropping
+    factor-1.0 windows — those degrade nothing, and dropping them keeps
+    the no-op path on the exact fault-free arithmetic."""
+    triples = sorted(
+        (window.start_s, window.end_s, getattr(window, attr))
+        for window in brownouts
+    )
+    return tuple(triple for triple in triples if triple[2] != 1.0)
+
+
+def degraded_end(windows, begin: float, service: float) -> float:
+    """End time of ``service`` seconds of full-rate work started at
+    ``begin`` under the piecewise capacity multiplier ``windows``."""
+    if service <= 0.0:
+        return begin
+    remaining = service
+    now = begin
+    for start_s, end_s, factor in windows:
+        if end_s <= now:
+            continue
+        if now < start_s:
+            headroom = start_s - now
+            if remaining <= headroom:
+                return now + remaining
+            remaining -= headroom
+            now = start_s
+        capacity = (end_s - now) * factor
+        if remaining <= capacity:
+            return now + remaining / factor
+        remaining -= capacity
+        now = end_s
+    return now + remaining
+
+
+def place_degraded(timeline, arrival: float, service: float, windows):
+    """Find (without booking) a span for ``service`` seconds of
+    full-rate work on ``timeline`` no earlier than ``arrival``,
+    stretched through ``windows``; returns ``(begin, end)``.
+
+    The placement is a fixed point of ``earliest_gap`` over the
+    *stretched* duration: the candidate begin only ever moves forward,
+    so the result is deterministic and never overlaps an existing
+    booking.  (When a later begin shrinks the stretched duration, an
+    earlier gap the shorter span would have fit is not revisited — a
+    deliberate, documented trade for determinism.)
+    """
+    if not windows:
+        begin = timeline.earliest_gap(arrival, service)
+        return begin, begin + service
+    begin = arrival
+    for _ in range(_MAX_PLACEMENTS):
+        end = degraded_end(windows, begin, service)
+        stretched = end - begin
+        if stretched <= 0.0:
+            return begin, begin
+        gap = timeline.earliest_gap(begin, stretched)
+        if gap <= begin:
+            return begin, end
+        begin = gap
+    raise ConfigError(
+        f"degraded placement failed for a {service}s request after "
+        f"{_MAX_PLACEMENTS} attempts (arrival {arrival}s)"
+    )
+
+
+def reserve_degraded(timeline, arrival: float, service: float, windows):
+    """Place and book; returns ``(begin, end)`` of the booked span."""
+    begin, end = place_degraded(timeline, arrival, service, windows)
+    if end > begin:
+        timeline.book(begin, end - begin)
+    return begin, end

@@ -1,0 +1,41 @@
+"""Degradation accounting attached to job and workload reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.recovery import RecoveryEvent
+
+
+@dataclass(frozen=True)
+class DegradationStats:
+    """What the injected faults cost one job.
+
+    ``recovery_events`` is the deterministic crash-recovery log (one
+    entry per orphaned relay that re-attached); ``refetched_bytes``
+    counts every byte staged a second time because its first copy died
+    with a crashed relay; ``link_retries`` counts lossy-link resends;
+    ``staging_inflation`` is staging makespan over the fault-free twin
+    (1.0 when no twin was computed).
+    """
+
+    recovery_events: tuple[RecoveryEvent, ...] = ()
+    refetched_bytes: int = 0
+    crashed_relays: tuple[int, ...] = ()
+    link_retries: int = 0
+    staging_inflation: float = 1.0
+
+    @property
+    def n_recoveries(self) -> int:
+        return len(self.recovery_events)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "recovery_events": [
+                event.to_json_dict() for event in self.recovery_events
+            ],
+            "refetched_bytes": self.refetched_bytes,
+            "crashed_relays": list(self.crashed_relays),
+            "link_retries": self.link_retries,
+            "staging_inflation": self.staging_inflation,
+        }

@@ -1,0 +1,81 @@
+"""The published JSON-schema fragment for ``FaultSpec`` documents.
+
+Embedded into the scenario schema as the optional, nullable ``faults``
+property (and, through the tenant block, into the workload schema), so
+``spec validate`` / ``workload validate`` reject malformed fault blocks
+with the same machinery as every other field.  Uses only the keyword
+subset the built-in validator in :mod:`repro.scenario.schema` supports.
+"""
+
+from __future__ import annotations
+
+_CRASH_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "required": ["node"],
+    "properties": {
+        "node": {"type": "integer", "minimum": 0},
+        "at_progress": {
+            "type": ["number", "null"],
+            "minimum": 0,
+            "exclusiveMaximum": 1,
+        },
+        "at_s": {"type": ["number", "null"], "minimum": 0},
+    },
+}
+
+_BROWNOUT_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "required": ["start_s", "end_s"],
+    "properties": {
+        "target": {"type": "string", "enum": ["nfs", "pfs"]},
+        "start_s": {"type": "number", "minimum": 0},
+        "end_s": {"type": "number", "exclusiveMinimum": 0},
+        "bandwidth_factor": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+        "iops_factor": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+    },
+}
+
+_LINK_SCHEMA = {
+    "type": "object",
+    "additionalProperties": False,
+    "required": ["node"],
+    "properties": {
+        "node": {"type": "integer", "minimum": 0},
+        "bandwidth_factor": {
+            "type": "number",
+            "exclusiveMinimum": 0,
+            "maximum": 1,
+        },
+        "loss_probability": {
+            "type": "number",
+            "minimum": 0,
+            "exclusiveMaximum": 1,
+        },
+        "retry_backoff_s": {"type": "number", "minimum": 0},
+    },
+}
+
+#: The ``faults`` property of a scenario document (nullable: a spec
+#: without faults omits the key or sets it to null).
+FAULT_JSON_SCHEMA = {
+    "type": ["object", "null"],
+    "additionalProperties": False,
+    "properties": {
+        "crashes": {"type": "array", "items": _CRASH_SCHEMA},
+        "brownouts": {"type": "array", "items": _BROWNOUT_SCHEMA},
+        "links": {"type": "array", "items": _LINK_SCHEMA},
+        "seed": {"type": "integer"},
+        "detection_s": {"type": "number", "minimum": 0},
+        "horizon_s": {"type": ["number", "null"], "exclusiveMinimum": 0},
+    },
+}

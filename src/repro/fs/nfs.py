@@ -11,6 +11,7 @@ server-side concurrency cap beyond which requests simply queue).
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.faults.brownout import reserve_degraded, window_triples
 from repro.fs.reservation import ReservationTimeline
 
 
@@ -46,6 +47,12 @@ class NFSServer:
         #: Windows during which the server's RPC machinery is occupied
         #: (the IOPS-saturation term for request-heavy small reads).
         self._op_reservations = ReservationTimeline()
+        #: Declared brownout windows (a set: identical windows declared
+        #: by several tenants are one event) plus the derived sorted
+        #: capacity-multiplier triples the degraded booking math reads.
+        self._brownouts: set = set()
+        self._bw_windows: tuple = ()
+        self._op_windows: tuple = ()
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -75,9 +82,37 @@ class NFSServer:
 
     # -- timed queueing interface (multi-rank engine) ---------------------
     def reset_queue(self) -> None:
-        """Forget queued work — call once per simulated job."""
+        """Forget queued work (and brownouts) — call once per simulated job."""
         self._reservations = ReservationTimeline()
         self._op_reservations = ReservationTimeline()
+        self._brownouts = set()
+        self._bw_windows = ()
+        self._op_windows = ()
+
+    def add_brownouts(self, windows) -> None:
+        """Declare degraded-capacity windows for the coming job.
+
+        Each window is a :class:`repro.faults.BrownoutWindow` during
+        which the server runs at a fraction of its nominal bandwidth
+        and/or IOPS.  An identical window declared twice (two tenants
+        naming the same cluster-wide event on the shared server) is
+        idempotent; *distinct* windows that overlap in time raise
+        :class:`ConfigError` — there is no composition rule for stacked
+        degradations.  :meth:`reset_queue` clears them.
+        """
+        for window in windows:
+            if window in self._brownouts:
+                continue
+            for other in self._brownouts:
+                if window.start_s < other.end_s and other.start_s < window.end_s:
+                    raise ConfigError(
+                        f"{self.name}: brownout window "
+                        f"[{window.start_s}, {window.end_s}) overlaps "
+                        f"[{other.start_s}, {other.end_s})"
+                    )
+            self._brownouts.add(window)
+        self._bw_windows = window_triples(self._brownouts, "bandwidth_factor")
+        self._op_windows = window_triples(self._brownouts, "iops_factor")
 
     def timeline_stats(self) -> tuple[int, int]:
         """``(stored_windows, total_bookings)`` over the queue timelines."""
@@ -112,11 +147,25 @@ class NFSServer:
             raise ConfigError(f"negative request time: {start_s}")
         self.bytes_served += n_bytes
         self.requests_served += n_ops
-        queue_delay = self._op_reservations.reserve_ops(
-            start_s, n_ops, self.iops_limit
-        )
+        if self._op_windows and self.iops_limit is not None and n_ops > 0:
+            begin, _ = reserve_degraded(
+                self._op_reservations,
+                start_s,
+                n_ops / self.iops_limit,
+                self._op_windows,
+            )
+            queue_delay = begin - start_s
+        else:
+            queue_delay = self._op_reservations.reserve_ops(
+                start_s, n_ops, self.iops_limit
+            )
         arrival = start_s + queue_delay + n_ops * self.latency_s
         service = n_bytes / self.bandwidth_bps
         if service <= 0.0:
             return arrival
+        if self._bw_windows:
+            _, end = reserve_degraded(
+                self._reservations, arrival, service, self._bw_windows
+            )
+            return end
         return self._reservations.reserve(arrival, service) + service

@@ -10,6 +10,11 @@ scalability experiment (DESIGN.md S3).
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.faults.brownout import (
+    place_degraded,
+    reserve_degraded,
+    window_triples,
+)
 from repro.fs.reservation import ReservationTimeline
 
 
@@ -48,6 +53,11 @@ class ParallelFileSystem:
         #: occupied (shared across targets — the metadata path is one
         #: service even on a striped store).
         self._op_reservations = ReservationTimeline()
+        #: Declared brownout windows and the derived sorted
+        #: capacity-multiplier triples (see :meth:`add_brownouts`).
+        self._brownouts: set = set()
+        self._bw_windows: tuple = ()
+        self._op_windows: tuple = ()
 
     def set_concurrency(self, clients: int) -> None:
         """Declare how many nodes are reading simultaneously."""
@@ -76,11 +86,37 @@ class ParallelFileSystem:
 
     # -- timed queueing interface (multi-rank engine) ---------------------
     def reset_queue(self) -> None:
-        """Forget queued work — call once per simulated job."""
+        """Forget queued work (and brownouts) — call once per simulated job."""
         self._target_reservations = [
             ReservationTimeline() for _ in range(self.n_targets)
         ]
         self._op_reservations = ReservationTimeline()
+        self._brownouts = set()
+        self._bw_windows = ()
+        self._op_windows = ()
+
+    def add_brownouts(self, windows) -> None:
+        """Declare degraded-capacity windows for the coming job.
+
+        Same contract as :meth:`NFSServer.add_brownouts`: identical
+        windows are idempotent, distinct overlapping windows raise
+        :class:`ConfigError`, and :meth:`reset_queue` clears them.  A
+        bandwidth brownout degrades every stripe (the failure mode is
+        the shared interconnect or a controller, not one target).
+        """
+        for window in windows:
+            if window in self._brownouts:
+                continue
+            for other in self._brownouts:
+                if window.start_s < other.end_s and other.start_s < window.end_s:
+                    raise ConfigError(
+                        f"{self.name}: brownout window "
+                        f"[{window.start_s}, {window.end_s}) overlaps "
+                        f"[{other.start_s}, {other.end_s})"
+                    )
+            self._brownouts.add(window)
+        self._bw_windows = window_triples(self._brownouts, "bandwidth_factor")
+        self._op_windows = window_triples(self._brownouts, "iops_factor")
 
     def timeline_stats(self) -> tuple[int, int]:
         """``(stored_windows, total_bookings)`` over the queue timelines."""
@@ -108,13 +144,31 @@ class ParallelFileSystem:
         self.bytes_served += n_bytes
         self.requests_served += n_ops
         per_target = self.aggregate_bandwidth_bps / self.n_targets
-        queue_delay = self._op_reservations.reserve_ops(
-            start_s, n_ops, self.iops_limit
-        )
+        if self._op_windows and self.iops_limit is not None and n_ops > 0:
+            op_begin, _ = reserve_degraded(
+                self._op_reservations,
+                start_s,
+                n_ops / self.iops_limit,
+                self._op_windows,
+            )
+            queue_delay = op_begin - start_s
+        else:
+            queue_delay = self._op_reservations.reserve_ops(
+                start_s, n_ops, self.iops_limit
+            )
         arrival = start_s + queue_delay + n_ops * self.latency_s
         service = n_bytes / per_target
         if service <= 0.0:
             return arrival
+        if self._bw_windows:
+            spans = [
+                place_degraded(timeline, arrival, service, self._bw_windows)
+                for timeline in self._target_reservations
+            ]
+            target = min(range(self.n_targets), key=lambda i: spans[i][0])
+            begin, end = spans[target]
+            self._target_reservations[target].book(begin, end - begin)
+            return end
         begins = [
             timeline.earliest_gap(arrival, service)
             for timeline in self._target_reservations

@@ -106,6 +106,7 @@ def _import_experiments() -> None:
         job_scaling,
         mitigation,
         mitigation_scaled,
+        resilience,
         rush_hour,
         scaling,
         staging_exp,

@@ -59,6 +59,12 @@ class StagingSummary:
     source_reads: int
     relay_sends: int
     warm_node_count: int
+    #: Fault-injection accounting; the defaults keep cache rows pickled
+    #: before the fields existed loading cleanly (all zero = clean pass).
+    recovery_events: int = 0
+    refetched_bytes: int = 0
+    crashed_relays: int = 0
+    link_retries: int = 0
 
 
 @lru_cache(maxsize=2)
@@ -105,11 +111,21 @@ def eval_staging_point(spec: ScenarioSpec) -> StagingSummary:
     for index in sorted(warm):
         for image in images:
             cluster.nodes[index].buffer_cache.read(image)
+    if spec.faults is not None and spec.faults.brownouts:
+        for fs, target in ((cluster.nfs, "nfs"), (cluster.pfs, "pfs")):
+            windows = [
+                window
+                for window in spec.faults.brownouts
+                if window.target == target
+            ]
+            if windows:
+                fs.add_brownouts(windows)
     plan = DistributionOverlay(
         spec.distribution,
         cluster,
         straggler_nodes=spec.straggler_nodes,
         straggler_slowdown=spec.straggler_slowdown,
+        faults=spec.faults,
     ).stage(images)
     done = list(plan.per_node_done_s)
     return StagingSummary(
@@ -124,6 +140,10 @@ def eval_staging_point(spec: ScenarioSpec) -> StagingSummary:
         source_reads=plan.source_reads,
         relay_sends=plan.relay_sends,
         warm_node_count=len(plan.warm_nodes),
+        recovery_events=len(plan.recovery_events),
+        refetched_bytes=plan.refetched_bytes,
+        crashed_relays=len(plan.crashed_nodes),
+        link_retries=plan.link_retries,
     )
 
 

@@ -156,6 +156,19 @@ def extract_columns(result: object) -> dict:
             columns[name] = value
             if value is not None:
                 metrics[name] = value
+        degradation = getattr(result, "degradation", None)
+        if degradation is not None:
+            for name in (
+                "n_recoveries",
+                "refetched_bytes",
+                "link_retries",
+            ):
+                value = _number(getattr(degradation, name, None))
+                if value is not None:
+                    metrics[name] = value
+            metrics["crashed_relays"] = len(
+                getattr(degradation, "crashed_relays", ())
+            )
     elif hasattr(result, "tenants") and hasattr(result, "jobs"):
         # WorkloadReport: the batch-queue view of the shared columns.
         # This arm must precede the StagingSummary one — workload
@@ -174,6 +187,9 @@ def extract_columns(result: object) -> dict:
             "wait_p95_s",
             "startup_p95_s",
             "engine_steps",
+            "recovery_events",
+            "refetched_bytes",
+            "link_retries",
         ):
             value = _number(getattr(result, name, None))
             if value is not None:
@@ -205,6 +221,10 @@ def extract_columns(result: object) -> dict:
             "source_reads",
             "relay_sends",
             "warm_node_count",
+            "recovery_events",
+            "refetched_bytes",
+            "crashed_relays",
+            "link_retries",
         ):
             value = _number(getattr(result, name, None))
             if value is not None:

@@ -14,6 +14,7 @@
   JobReport``.
 """
 
+from repro.faults import BrownoutWindow, FaultSpec, LinkFault, RelayCrash
 from repro.scenario.builder import Scenario
 from repro.scenario.presets import (
     SCENARIO_PRESETS,
@@ -26,8 +27,12 @@ from repro.scenario.schema import SCENARIO_JSON_SCHEMA, validate_spec_dict
 from repro.scenario.spec import ENGINES, OS_PROFILES, SPEC_VERSION, ScenarioSpec
 
 __all__ = [
+    "BrownoutWindow",
     "ENGINES",
+    "FaultSpec",
+    "LinkFault",
     "OS_PROFILES",
+    "RelayCrash",
     "SCENARIO_JSON_SCHEMA",
     "SCENARIO_PRESETS",
     "SPEC_VERSION",

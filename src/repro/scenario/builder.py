@@ -25,6 +25,7 @@ from repro.core.config import PynamicConfig
 from repro.dist.topology import DistributionSpec, Topology
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
+from repro.faults.spec import FaultSpec
 from repro.scenario.spec import ScenarioSpec
 
 
@@ -217,9 +218,17 @@ class Scenario:
             distribution=replace(current, **changes)  # type: ignore[arg-type]
         )
 
+    # -- fault injection ----------------------------------------------------
+    def faults(self, spec: "FaultSpec | None") -> "Scenario":
+        """Attach a :class:`repro.faults.FaultSpec` (or ``None`` to
+        remove it).  An empty spec normalizes away at build time, so the
+        fault-free twin of a faulted chain hashes identically."""
+        return self._with(faults=spec)
+
     # -- materialization ----------------------------------------------------
     def _needs_multirank(self) -> bool:
         f: Mapping[str, object] = self._fields
+        faults = f["faults"]
         return bool(
             f["distribution"] is not None
             or f["straggler_nodes"]
@@ -227,6 +236,7 @@ class Scenario:
             or f["node_os_profiles"]
             or f["os_jitter_s"]
             or f["warm_fraction"]
+            or (faults is not None and not faults.empty)  # type: ignore[attr-defined]
         )
 
     def build(self) -> ScenarioSpec:

@@ -17,6 +17,7 @@ from repro.core.builds import BuildMode
 from repro.dist.topology import SOURCES, Topology
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
+from repro.faults.schema import FAULT_JSON_SCHEMA
 from repro.scenario.spec import ENGINES, OS_PROFILES, SPEC_VERSION
 
 #: Keyword subset the built-in interpreter understands.
@@ -166,6 +167,7 @@ SCENARIO_JSON_SCHEMA = {
         "config": _CONFIG_SCHEMA,
         "scenario": _SCENARIO_SCHEMA,
         "distribution": _DISTRIBUTION_SCHEMA,
+        "faults": FAULT_JSON_SCHEMA,
     },
 }
 

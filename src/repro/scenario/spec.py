@@ -32,6 +32,7 @@ from repro.core.config import PynamicConfig
 from repro.dist.topology import DistributionSpec, Topology
 from repro.elf.symbols import HashStyle
 from repro.errors import ConfigError
+from repro.faults.spec import FaultSpec
 from repro.machine.osprofile import OsProfile, aix32, bluegene, linux_chaos
 
 #: Valid values of the ``engine`` field.
@@ -147,6 +148,9 @@ class ScenarioSpec:
     node_os_profiles: tuple[tuple[int, str], ...] = ()
     #: Library-distribution overlay (None = demand-paged NFS).
     distribution: DistributionSpec | None = None
+    #: Seeded fault injection (None = fault-free; an *empty* FaultSpec
+    #: is normalized to None so the fault-free twin shares one hash).
+    faults: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.config, PynamicConfig):
@@ -214,6 +218,17 @@ class ScenarioSpec:
                 f"distribution must be a DistributionSpec or None, got "
                 f"{type(self.distribution).__name__}"
             )
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultSpec):
+                raise ConfigError(
+                    f"faults must be a FaultSpec or None, got "
+                    f"{type(self.faults).__name__}"
+                )
+            # An empty fault block is the fault-free twin: normalize it
+            # away so both spellings share one canonical JSON and one
+            # spec hash (and one warehouse cache entry).
+            if self.faults.empty:
+                object.__setattr__(self, "faults", None)
         # Normalize node collections to sorted unique tuples so that
         # equal scenarios spelled in different orders hash identically.
         object.__setattr__(
@@ -241,6 +256,27 @@ class ScenarioSpec:
                     f"node_os_profiles: node {index} outside the "
                     f"{n_nodes}-node job"
                 )
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                if crash.node >= n_nodes:
+                    raise ConfigError(
+                        f"faults.crashes: node {crash.node} outside the "
+                        f"{n_nodes}-node job"
+                    )
+            for link in self.faults.links:
+                if link.node >= n_nodes:
+                    raise ConfigError(
+                        f"faults.links: node {link.node} outside the "
+                        f"{n_nodes}-node job"
+                    )
+            if (self.faults.crashes or self.faults.links) and (
+                self.distribution is None
+            ):
+                raise ConfigError(
+                    "faults: crashes and link faults act on the "
+                    "distribution overlay's relay daemons — set a "
+                    "distribution (brownouts alone work without one)"
+                )
         if self.engine == "analytic":
             for field_name in self._heterogeneity_fields():
                 raise ConfigError(
@@ -251,6 +287,11 @@ class ScenarioSpec:
                 raise ConfigError(
                     "distribution requires engine='multirank' (overlays "
                     "run on the discrete-event engine)"
+                )
+            if self.faults is not None:
+                raise ConfigError(
+                    "faults requires engine='multirank' (fault injection "
+                    "runs on the discrete-event engine)"
                 )
 
     def _normalized_profiles(self) -> tuple[tuple[int, str], ...]:
@@ -364,6 +405,7 @@ class ScenarioSpec:
         hash_style: HashStyle = HashStyle.SYSV,
         prelink: bool = False,
         distribution: DistributionSpec | None = None,
+        faults: FaultSpec | None = None,
     ) -> "ScenarioSpec":
         """Normalize the legacy :class:`repro.core.job.PynamicJob` kwargs.
 
@@ -413,6 +455,7 @@ class ScenarioSpec:
             hash_style=hash_style,
             prelink=prelink,
             distribution=distribution,
+            faults=faults,
             **scenario_fields,  # type: ignore[arg-type]
         )
 
@@ -484,6 +527,11 @@ class ScenarioSpec:
                     self.distribution.straggler_relay_slowdown
                 ),
             }
+        # Emitted only when set: every pre-existing spec document, hash
+        # pin and warehouse cache key predates the faults field and must
+        # stay byte-identical.
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -511,6 +559,7 @@ class ScenarioSpec:
             "config",
             "scenario",
             "distribution",
+            "faults",
         }
         for key in data:
             if key not in known:
@@ -569,6 +618,7 @@ class ScenarioSpec:
             warm_nodes=tuple(scenario.get("warm_nodes", ())),
             node_os_profiles=node_profiles,
             distribution=_distribution_from_dict(data.get("distribution")),
+            faults=_faults_from_dict(data.get("faults")),
         )
 
     def canonical_json(self) -> str:
@@ -660,6 +710,15 @@ def _config_from_dict(data: object) -> PynamicConfig:
         return PynamicConfig(**kwargs)  # type: ignore[arg-type]
     except TypeError as exc:
         raise ConfigError(f"config: {exc}") from None
+
+
+def _faults_from_dict(data: object) -> FaultSpec | None:
+    """Rebuild the optional faults block."""
+    if data is None:
+        return None
+    if not isinstance(data, Mapping):
+        raise ConfigError("faults block must be a JSON object or null")
+    return FaultSpec.from_dict(dict(data))
 
 
 def _distribution_from_dict(data: object) -> DistributionSpec | None:

@@ -182,6 +182,7 @@ class WorkloadEngine:
         # job's end is read *after* it.
         end_s = max(task.now for task in record.tasks)
         cold_start = cold_start_values(report)
+        degradation = report.degradation
         outcome = JobOutcome(
             job_id=record.job_id,
             tenant=tenant.name,
@@ -195,6 +196,15 @@ class WorkloadEngine:
             startup_max_s=max(cold_start),
             staging_max_s=report.staging_max,
             total_max_s=report.total_max,
+            recovery_events=(
+                degradation.n_recoveries if degradation is not None else 0
+            ),
+            refetched_bytes=(
+                degradation.refetched_bytes if degradation is not None else 0
+            ),
+            link_retries=(
+                degradation.link_retries if degradation is not None else 0
+            ),
         )
         return outcome, report, end_s
 

@@ -53,6 +53,12 @@ class JobOutcome:
     startup_max_s: float
     staging_max_s: float
     total_max_s: float
+    #: Fault-injection accounting (0 everywhere on a fault-free job):
+    #: overlay recovery passes, bytes re-fetched after crashes, lossy
+    #: link retransmissions.
+    recovery_events: int = 0
+    refetched_bytes: int = 0
+    link_retries: int = 0
 
     @property
     def wait_s(self) -> float:
@@ -147,6 +153,22 @@ class WorkloadReport:
             return 0.0
         return max(tenant.startup_p95_s for tenant in self.tenants)
 
+    # -- degradation aggregates (0 on a fault-free workload) -----------
+    @property
+    def recovery_events(self) -> int:
+        """Overlay recovery passes across every job."""
+        return sum(job.recovery_events for job in self.jobs)
+
+    @property
+    def refetched_bytes(self) -> int:
+        """Bytes re-fetched after relay crashes, across every job."""
+        return sum(job.refetched_bytes for job in self.jobs)
+
+    @property
+    def link_retries(self) -> int:
+        """Lossy-link retransmissions across every job."""
+        return sum(job.link_retries for job in self.jobs)
+
     def tenant(self, name: str) -> TenantSummary:
         """The named tenant's summary."""
         for summary in self.tenants:
@@ -170,6 +192,9 @@ class WorkloadReport:
             "wait_p95_s": self.wait_p95_s,
             "startup_p95_s": self.startup_p95_s,
             "engine_steps": self.engine_steps,
+            "recovery_events": self.recovery_events,
+            "refetched_bytes": self.refetched_bytes,
+            "link_retries": self.link_retries,
             "tenants": [
                 {
                     "name": t.name,
@@ -204,6 +229,9 @@ class WorkloadReport:
                     "startup_max_s": j.startup_max_s,
                     "staging_max_s": j.staging_max_s,
                     "total_max_s": j.total_max_s,
+                    "recovery_events": j.recovery_events,
+                    "refetched_bytes": j.refetched_bytes,
+                    "link_retries": j.link_retries,
                 }
                 for j in self.jobs
             ],

@@ -239,6 +239,34 @@ class WorkloadSpec:
                     f"{tenant.nodes_per_job} nodes but the cluster has only "
                     f"{self.n_nodes}"
                 )
+        # Cross-tenant brownout compatibility: the shared NFS/PFS is
+        # handed every tenant's windows.  An *identical* window declared
+        # by several tenants is one cluster-wide event (idempotent);
+        # distinct windows that overlap in time have no composition rule
+        # and would otherwise fail mid-simulation.
+        declared: dict[str, list] = {}
+        for tenant in tenants:
+            faults = tenant.scenario.faults
+            if faults is None:
+                continue
+            for window in faults.brownouts:
+                for other, owner in declared.get(window.target, ()):
+                    if window == other:
+                        continue
+                    if (
+                        window.start_s < other.end_s
+                        and other.start_s < window.end_s
+                    ):
+                        raise ConfigError(
+                            f"tenants {owner} and {tenant.name}: "
+                            f"overlapping {window.target} brownout windows "
+                            f"[{other.start_s}, {other.end_s}) and "
+                            f"[{window.start_s}, {window.end_s}) on the "
+                            f"shared filesystem"
+                        )
+                declared.setdefault(window.target, []).append(
+                    (window, tenant.name)
+                )
 
     @property
     def cores_per_node(self) -> int:

@@ -29,6 +29,7 @@ EXPECTED_EXPERIMENTS = (
     "job_scaling",
     "mitigation",
     "mitigation_scaled",
+    "resilience",
     "rush_hour",
     "scaling_dll_size",
     "scaling_dlls",

@@ -1,0 +1,364 @@
+"""Property-based guarantees of the fault-injection layer.
+
+- hypothesis round-trip: ``FaultSpec.from_dict(to_dict(spec))``
+  preserves equality and the canonical hash for arbitrary valid specs;
+- cross-process stability: the fault hash is recomputed in a fresh
+  interpreter with a different ``PYTHONHASHSEED`` and must match;
+- byte conservation: under *any* seeded crash schedule every node of
+  the overlay still ends holding every staged byte (recovery re-fetches
+  exactly the lost remainder — the plan never under- or over-counts);
+- no cycles: recovery never re-parents an orphaned subtree onto one of
+  its own descendants;
+- degraded bookings: brownout-stretched reservations stay disjoint on
+  the timeline and each booked span provides exactly the requested
+  full-rate work under the piecewise capacity multiplier.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dist.overlay import DistributionOverlay
+from repro.dist.topology import DistributionSpec, children_map
+from repro.faults import (
+    SOURCE_PARENT,
+    BrownoutWindow,
+    FaultSpec,
+    LinkFault,
+    RelayCrash,
+)
+from repro.faults.brownout import degraded_end, reserve_degraded
+from repro.fs.files import FileImage
+from repro.fs.reservation import ReservationTimeline
+from repro.machine.cluster import Cluster
+
+_settings = settings(
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+    derandomize=True,
+)
+
+# -- strategies --------------------------------------------------------
+
+_times = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _crashes(draw, max_node=63):
+    nodes = draw(st.lists(st.integers(0, max_node), unique=True, max_size=4))
+    crashes = []
+    for node in nodes:
+        if draw(st.booleans()):
+            crashes.append(
+                RelayCrash(
+                    node=node,
+                    at_progress=draw(st.floats(0.0, 0.99, allow_nan=False)),
+                )
+            )
+        else:
+            crashes.append(RelayCrash(node=node, at_s=draw(_times)))
+    return tuple(crashes)
+
+
+@st.composite
+def _disjoint_windows(draw, target):
+    """Disjoint, sorted brownout windows on one storage target."""
+    bounds = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 50.0, allow_nan=False),
+                unique=True,
+                max_size=6,
+            )
+        )
+    )
+    windows = []
+    for start, end in zip(bounds[::2], bounds[1::2]):
+        if end <= start:
+            continue
+        windows.append(
+            BrownoutWindow(
+                target=target,
+                start_s=start,
+                end_s=end,
+                bandwidth_factor=draw(
+                    st.floats(0.05, 1.0, exclude_min=True, allow_nan=False)
+                ),
+                iops_factor=draw(
+                    st.floats(0.05, 1.0, exclude_min=True, allow_nan=False)
+                ),
+            )
+        )
+    return tuple(windows)
+
+
+@st.composite
+def _links(draw, max_node=63):
+    nodes = draw(st.lists(st.integers(0, max_node), unique=True, max_size=3))
+    return tuple(
+        LinkFault(
+            node=node,
+            bandwidth_factor=draw(
+                st.floats(0.1, 1.0, allow_nan=False)
+            ),
+            loss_probability=draw(st.floats(0.0, 0.5, allow_nan=False)),
+            retry_backoff_s=draw(st.floats(0.0, 0.1, allow_nan=False)),
+        )
+        for node in nodes
+    )
+
+
+@st.composite
+def _fault_specs(draw):
+    return FaultSpec(
+        crashes=draw(_crashes()),
+        brownouts=draw(_disjoint_windows("nfs")) + draw(_disjoint_windows("pfs")),
+        links=draw(_links()),
+        seed=draw(st.integers(0, 2**31 - 1)),
+        detection_s=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        horizon_s=draw(st.one_of(st.none(), st.floats(200.0, 500.0))),
+    )
+
+
+# -- round-trip and hash stability -------------------------------------
+
+
+@_settings
+@given(_fault_specs())
+def test_fault_spec_round_trips_through_canonical_json(spec):
+    data = json.loads(spec.canonical_json())
+    again = FaultSpec.from_dict(data)
+    assert again == spec
+    assert again.fault_hash == spec.fault_hash
+
+
+@_settings
+@given(_fault_specs())
+def test_canonical_json_is_strict_json(spec):
+    def _reject(token):
+        raise AssertionError(f"non-standard JSON token {token!r} emitted")
+
+    json.loads(spec.canonical_json(), parse_constant=_reject)
+
+
+def test_fault_hash_is_stable_across_processes():
+    """The warehouse keys on spec hashes that embed the fault block, so
+    the fault hash must not depend on per-process state."""
+    specs = [
+        FaultSpec(),
+        FaultSpec(
+            crashes=(RelayCrash(node=3, at_progress=0.5),),
+            brownouts=(
+                BrownoutWindow(
+                    target="nfs", start_s=1.0, end_s=2.0, bandwidth_factor=0.25
+                ),
+            ),
+            links=(LinkFault(node=1, loss_probability=0.1),),
+            seed=7,
+            detection_s=0.125,
+            horizon_s=100.0,
+        ),
+    ]
+    program = (
+        "from repro.faults import *\n"
+        "print(FaultSpec().fault_hash)\n"
+        "print(FaultSpec(crashes=(RelayCrash(node=3, at_progress=0.5),),"
+        "brownouts=(BrownoutWindow(target='nfs', start_s=1.0, end_s=2.0,"
+        "bandwidth_factor=0.25),),"
+        "links=(LinkFault(node=1, loss_probability=0.1),),"
+        "seed=7, detection_s=0.125, horizon_s=100.0).fault_hash)\n"
+    )
+    src = Path(__file__).resolve().parents[1] / "src"
+    fresh = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "54321"},
+    )
+    assert fresh.stdout.split() == [spec.fault_hash for spec in specs]
+
+
+# -- overlay recovery properties ---------------------------------------
+
+_KIB = 1024
+
+
+def _stage_with_crashes(n_nodes, name, crashed, pipelined, chunked):
+    """One overlay pass with the given node subset crashing at varying
+    progress points; returns (plan, overlay, images)."""
+    cluster = Cluster(n_nodes=n_nodes, cores_per_node=1)
+    images = [
+        FileImage(
+            path=f"/nfs/lib{i}.so",
+            size_bytes=(i + 1) * 192 * _KIB,
+            filesystem=cluster.nfs,
+        )
+        for i in range(3)
+    ]
+    faults = FaultSpec(
+        crashes=tuple(
+            # Spread the trigger points so early, mid and late crashes
+            # (including crashes during the recovery-relevant tail) are
+            # all generated.
+            RelayCrash(node=node, at_progress=(0.2 + 0.3 * k) % 0.95)
+            for k, node in enumerate(crashed)
+        ),
+        seed=5,
+    )
+    spec = DistributionSpec.from_name(
+        name,
+        pipelined=pipelined,
+        chunk_bytes=64 * _KIB if chunked else None,
+    )
+    overlay = DistributionOverlay(spec, cluster, faults=faults)
+    plan = overlay.stage(images)
+    return plan, overlay, images, cluster
+
+
+_overlay_cases = st.tuples(
+    st.integers(2, 12),  # n_nodes
+    st.sampled_from(["flat", "binomial", "kary"]),
+    st.booleans(),  # pipelined
+    st.booleans(),  # chunked
+    st.sets(st.integers(0, 11), max_size=5),
+)
+
+
+@_settings
+@given(_overlay_cases)
+def test_every_staged_byte_is_accounted_for_under_any_crash_schedule(case):
+    n_nodes, name, pipelined, chunked, crash_draw = case
+    crashed = sorted(node for node in crash_draw if node < n_nodes)
+    plan, overlay, images, cluster = _stage_with_crashes(
+        n_nodes, name, crashed, pipelined, chunked
+    )
+    # Byte conservation: every node's cache holds every image in full,
+    # and the plan records a finite landing time for each.
+    for index in range(n_nodes):
+        for image in images:
+            assert cluster.nodes[index].buffer_cache.contains(image), (
+                f"node {index} lost bytes of {image.path}"
+            )
+            ready = plan.ready(index, image.path)
+            assert ready is not None and ready >= 0.0
+    # A scheduled crash fires only if its progress trigger is reached —
+    # an upstream crash can starve a node below its own threshold.
+    assert set(plan.crashed_nodes) <= set(crashed)
+    # The recovery ledger is internally consistent.
+    assert plan.refetched_bytes == sum(
+        event.refetched_bytes for event in plan.recovery_events
+    )
+    total = sum(image.size_bytes for image in images)
+    for event in plan.recovery_events:
+        assert 0 <= event.refetched_bytes <= total
+        assert event.completed_s >= event.detected_s
+
+
+@_settings
+@given(_overlay_cases)
+def test_recovery_never_reparents_onto_a_descendant(case):
+    n_nodes, name, pipelined, chunked, crash_draw = case
+    crashed = sorted(node for node in crash_draw if node < n_nodes)
+    plan, overlay, _, _ = _stage_with_crashes(
+        n_nodes, name, crashed, pipelined, chunked
+    )
+    children = children_map(
+        overlay.spec.topology, n_nodes, overlay.spec.fanout
+    )
+
+    def descendants(root):
+        out, stack = set(), list(children[root])
+        while stack:
+            node = stack.pop()
+            out.add(node)
+            stack.extend(children[node])
+        return out
+
+    for event in plan.recovery_events:
+        assert event.new_parent != event.node
+        if event.new_parent == SOURCE_PARENT:
+            continue
+        assert event.new_parent not in descendants(event.node), (
+            f"node {event.node} re-parented onto its own descendant "
+            f"{event.new_parent} — a cycle"
+        )
+        # The serving ancestor must not itself be a crashed daemon.
+        assert event.new_parent not in plan.crashed_nodes
+
+
+# -- degraded reservation properties -----------------------------------
+
+
+@st.composite
+def _window_triples(draw):
+    bounds = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 30.0, allow_nan=False), unique=True, max_size=6
+            )
+        )
+    )
+    triples = []
+    for start, end in zip(bounds[::2], bounds[1::2]):
+        if end <= start:
+            continue
+        factor = draw(
+            st.floats(0.05, 1.0, exclude_min=True, exclude_max=True)
+        )
+        triples.append((start, end, factor))
+    return tuple(triples)
+
+
+_requests = st.lists(
+    st.tuples(
+        st.floats(0.0, 40.0, allow_nan=False),
+        st.floats(0.001, 5.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@_settings
+@given(windows=_window_triples(), requests=_requests)
+def test_degraded_bookings_stay_disjoint_and_meter_exact_work(
+    windows, requests
+):
+    timeline = ReservationTimeline()
+    for arrival, service in requests:
+        begin, end = reserve_degraded(timeline, arrival, service, windows)
+        assert begin >= arrival
+        # The span provides exactly the requested full-rate work under
+        # the piecewise multiplier — never more than degraded capacity.
+        assert end == degraded_end(windows, begin, service)
+        assert end > begin
+    # Disjointness (and the structure's own invariants) must survive
+    # any interleaving of degraded bookings.
+    timeline._check_invariants()
+    spans = timeline.windows
+    for (_, left_end), (right_start, _) in zip(spans, spans[1:]):
+        assert left_end <= right_start
+
+
+@_settings
+@given(windows=_window_triples(), requests=_requests)
+def test_degraded_booking_with_no_windows_is_fault_free_arithmetic(
+    windows, requests
+):
+    """An empty window set must reproduce the plain reserve path
+    bit-for-bit — the zero-fault twin guarantee at the timeline level."""
+    del windows
+    degraded = ReservationTimeline()
+    plain = ReservationTimeline()
+    for arrival, service in requests:
+        begin, end = reserve_degraded(degraded, arrival, service, ())
+        expected = plain.reserve(arrival, service)
+        assert begin == expected
+        assert end == expected + service
+    assert degraded.windows == plain.windows

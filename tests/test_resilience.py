@@ -1,0 +1,221 @@
+"""The resilience layer's golden guarantees and CLI error paths.
+
+- deterministic twin: a spec carrying an *empty* ``FaultSpec`` is the
+  same spec as one carrying ``faults=None`` — same canonical hash,
+  bit-identical :class:`JobReport` — so the zero-fault point of every
+  resilience sweep is the fault-free engine, not an approximation of it;
+- replay determinism: the same seed and crash schedule reproduce the
+  same recovery event log in a fresh interpreter;
+- config errors: malformed fault blocks fail ``spec validate`` /
+  ``workload validate`` with field-naming messages on stderr, exit 1;
+- the resilience experiment itself: smoke cells, monotone degradation
+  and schema-valid scenario declarations are covered by the registry
+  smoke (``test_experiment_smoke``) and the benchmark pin
+  (``benchmarks/test_resilience.py``).
+"""
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dist.topology import DistributionSpec
+from repro.errors import ConfigError
+from repro.faults import BrownoutWindow, FaultSpec, RelayCrash
+from repro.harness.cli import main
+from repro.scenario import ScenarioSpec, scenario_preset, simulate
+from repro.workload import WorkloadSpec, workload_preset
+
+
+def _faulted_spec(faults):
+    return scenario_preset("tiny").with_(
+        engine="multirank",
+        n_tasks=8,
+        cores_per_node=1,
+        distribution=DistributionSpec.from_name(
+            "binomial", pipelined=True, chunk_bytes=256 * 1024
+        ),
+        faults=faults,
+    )
+
+
+class TestDeterministicTwin:
+    def test_empty_fault_spec_is_the_fault_free_spec(self):
+        clean = _faulted_spec(None)
+        twin = _faulted_spec(FaultSpec())
+        assert twin.faults is None  # normalized away at construction
+        assert twin == clean
+        assert twin.spec_hash == clean.spec_hash
+        assert "faults" not in clean.to_dict()
+
+    def test_empty_fault_spec_report_is_bit_identical(self):
+        clean = simulate(_faulted_spec(None))
+        twin = simulate(_faulted_spec(FaultSpec()))
+        assert dataclasses.asdict(twin) == dataclasses.asdict(clean)
+        assert twin == clean
+        assert twin.degradation is None
+
+    def test_faulted_report_carries_degradation_metrics(self):
+        report = simulate(
+            _faulted_spec(
+                FaultSpec(crashes=(RelayCrash(node=1, at_progress=0.5),))
+            )
+        )
+        degradation = report.degradation
+        assert degradation is not None
+        assert degradation.crashed_relays == (1,)
+        assert degradation.n_recoveries >= 1
+        assert degradation.refetched_bytes > 0
+
+    def test_same_seed_reproduces_the_recovery_log_across_processes(self):
+        spec = _faulted_spec(
+            FaultSpec(
+                crashes=(RelayCrash(node=1, at_progress=0.5),),
+                links=(),
+                seed=23,
+            )
+        )
+        report = simulate(spec)
+        events = [
+            event.to_json_dict()
+            for event in report.degradation.recovery_events
+        ]
+        assert events
+        program = (
+            "import json, sys\n"
+            "from repro.scenario import ScenarioSpec, simulate\n"
+            "spec = ScenarioSpec.from_dict(json.load(sys.stdin))\n"
+            "report = simulate(spec)\n"
+            "print(json.dumps([e.to_json_dict() for e in "
+            "report.degradation.recovery_events]))\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        fresh = subprocess.run(
+            [sys.executable, "-c", program],
+            input=spec.canonical_json(),
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "999"},
+        )
+        assert json.loads(fresh.stdout) == events
+
+
+class TestFaultValidation:
+    def test_overlapping_brownout_windows_rejected(self):
+        with pytest.raises(ConfigError, match="overlapping nfs windows"):
+            FaultSpec(
+                brownouts=(
+                    BrownoutWindow(target="nfs", start_s=0.0, end_s=2.0),
+                    BrownoutWindow(target="nfs", start_s=1.0, end_s=3.0),
+                )
+            )
+
+    def test_factor_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigError, match="bandwidth_factor"):
+            BrownoutWindow(start_s=0.0, end_s=1.0, bandwidth_factor=1.5)
+        with pytest.raises(ConfigError, match="bandwidth_factor"):
+            BrownoutWindow(start_s=0.0, end_s=1.0, bandwidth_factor=0.0)
+
+    def test_crash_past_horizon_rejected(self):
+        with pytest.raises(ConfigError, match="past horizon_s"):
+            FaultSpec(
+                crashes=(RelayCrash(node=1, at_s=50.0),), horizon_s=10.0
+            )
+
+    def test_crash_node_outside_job_rejected(self):
+        with pytest.raises(ConfigError, match="outside"):
+            _faulted_spec(
+                FaultSpec(crashes=(RelayCrash(node=99, at_progress=0.5),))
+            )
+
+    def test_crashes_without_distribution_rejected(self):
+        base = _faulted_spec(None)
+        with pytest.raises(ConfigError, match="distribution"):
+            base.with_(
+                distribution=None,
+                engine="multirank",
+                faults=FaultSpec(
+                    crashes=(RelayCrash(node=1, at_progress=0.5),)
+                ),
+            )
+
+
+class TestCliErrorPaths:
+    def _write(self, tmp_path, data):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        return str(path)
+
+    def test_spec_validate_rejects_overlapping_brownouts(
+        self, tmp_path, capsys
+    ):
+        data = _faulted_spec(None).to_dict()
+        data["faults"] = {
+            "brownouts": [
+                {"target": "nfs", "start_s": 0.0, "end_s": 2.0,
+                 "bandwidth_factor": 0.5},
+                {"target": "nfs", "start_s": 1.0, "end_s": 3.0,
+                 "bandwidth_factor": 0.5},
+            ]
+        }
+        assert main(["spec", "validate", self._write(tmp_path, data)]) == 1
+        err = capsys.readouterr().err
+        assert "overlapping nfs windows" in err
+
+    def test_spec_validate_rejects_bad_factor(self, tmp_path, capsys):
+        data = _faulted_spec(None).to_dict()
+        data["faults"] = {
+            "brownouts": [
+                {"target": "nfs", "start_s": 0.0, "end_s": 1.0,
+                 "bandwidth_factor": 2.0},
+            ]
+        }
+        assert main(["spec", "validate", self._write(tmp_path, data)]) == 1
+        assert "bandwidth_factor" in capsys.readouterr().err
+
+    def test_spec_validate_rejects_unknown_fault_field(
+        self, tmp_path, capsys
+    ):
+        data = _faulted_spec(None).to_dict()
+        data["faults"] = {"flaky": True}
+        assert main(["spec", "validate", self._write(tmp_path, data)]) == 1
+        assert "flaky" in capsys.readouterr().err
+
+    def test_spec_validate_accepts_a_faulted_spec(self, tmp_path, capsys):
+        spec = _faulted_spec(
+            FaultSpec(crashes=(RelayCrash(node=1, at_progress=0.5),))
+        )
+        path = self._write(tmp_path, spec.to_dict())
+        assert main(["spec", "validate", path]) == 0
+        assert spec.spec_hash in capsys.readouterr().out
+
+    def test_workload_validate_rejects_malformed_tenant_faults(
+        self, tmp_path, capsys
+    ):
+        data = workload_preset("mixed_tenants").to_dict()
+        tenant = data["tenants"][0]
+        tenant["scenario"]["faults"] = {
+            "crashes": [{"node": 0, "at_progress": 0.5, "at_s": 1.0}]
+        }
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        assert main(["workload", "validate", str(path)]) == 1
+        assert "exactly one of" in capsys.readouterr().err
+
+
+def test_workload_spec_rejects_cross_tenant_brownout_overlap():
+    base = workload_preset("mixed_tenants")
+    window_a = {"target": "nfs", "start_s": 0.0, "end_s": 5.0,
+                "bandwidth_factor": 0.5}
+    window_b = {"target": "nfs", "start_s": 3.0, "end_s": 8.0,
+                "bandwidth_factor": 0.25}
+    data = base.to_dict()
+    assert len(data["tenants"]) >= 2, "smoke preset shrank below two tenants"
+    data["tenants"][0]["scenario"]["faults"] = {"brownouts": [window_a]}
+    data["tenants"][1]["scenario"]["faults"] = {"brownouts": [window_b]}
+    with pytest.raises(ConfigError, match="overlapping nfs brownout"):
+        WorkloadSpec.from_dict(data)

@@ -174,6 +174,151 @@ def test_backfill_head_starts_by_its_shadow_reservation(stream):
         assert starts[job_id] <= bound + 1e-6, (job_id, bound)
 
 
+# -- brownout stalls: runtimes overrun their estimates ------------------
+#
+# A brownout window inflates a job's staging time, so a running job can
+# hold its nodes well past the ``est_runtime_s`` the queue planned
+# around.  The placement engine must stay safe when estimates go stale:
+# nothing oversubscribes, nothing starves, and EASY's shadow promise
+# still holds against the *actual* release times.
+
+#: One stalled-stream job: (demand, estimate, stall factor >= 1).
+stalled_job_strategy = st.tuples(
+    st.integers(min_value=1, max_value=N_NODES),
+    st.floats(
+        min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False
+    ),
+    st.floats(
+        min_value=1.0, max_value=4.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+stalled_stream_strategy = st.lists(
+    stalled_job_strategy, min_size=1, max_size=24
+)
+
+
+def drive_stalled(queue, jobs, stalls, bounds=None):
+    """Like :func:`drive`, but each job actually releases at
+    ``start + est * stall`` — the queue only ever sees the estimate.
+
+    With ``bounds`` (a dict), records per queue head the shadow bound
+    computed from the *actual* end times of the jobs running the last
+    time it was observed blocked.  (The tightest-ever bound would be
+    too strong: a job backfilled against the estimated shadow can
+    itself stall, legitimately moving the head's real release horizon.)
+    """
+    held = {}
+    starts = {}
+    ends = {}
+    clock = 0.0
+
+    def actual_end(job_id):
+        return starts[job_id] + jobs[job_id].est_runtime_s * stalls[job_id]
+
+    def absorb(now):
+        for placement in queue.schedule(now):
+            held[placement.job.job_id] = placement.node_indices
+            starts[placement.job.job_id] = now
+        check_allocation_invariant(queue, held)
+        if bounds is not None and queue.pending:
+            head = queue.pending[0]
+            free = queue.free_nodes
+            bound = now
+            for job_id in sorted(held, key=actual_end):
+                if free >= head.n_nodes:
+                    break
+                free += len(held[job_id])
+                bound = actual_end(job_id)
+            bounds[head.job_id] = bound
+
+    for job in jobs:
+        queue.submit(job)
+        absorb(clock)
+    guard = 0
+    while queue.pending or queue.running_ids:
+        guard += 1
+        assert guard <= 4 * len(jobs) + 4, "queue failed to drain"
+        assert queue.running_ids, "pending jobs but nothing running"
+        ending = min(
+            queue.running_ids,
+            key=lambda job_id: (actual_end(job_id), job_id),
+        )
+        clock = max(clock, actual_end(ending))
+        queue.release(ending)
+        ends[ending] = clock
+        del held[ending]
+        absorb(clock)
+    return starts, ends
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=stalled_stream_strategy, policy=policy_strategy)
+def test_stalled_jobs_never_oversubscribe_or_starve_the_queue(stream, policy):
+    """Stale estimates (brownout overruns) must not break placement
+    safety: every job still starts and ends exactly once."""
+    jobs = make_jobs([(demand, est) for demand, est, _ in stream])
+    stalls = {index: stall for index, (_, _, stall) in enumerate(stream)}
+    queue = ClusterQueue(N_NODES, policy)
+    starts, ends = drive_stalled(queue, jobs, stalls)
+    assert sorted(starts) == list(range(len(jobs)))
+    assert sorted(ends) == list(range(len(jobs)))
+    assert queue.free_nodes == N_NODES
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream=stalled_stream_strategy, policy=policy_strategy)
+def test_stalled_streams_replay_deterministically(stream, policy):
+    jobs = make_jobs([(demand, est) for demand, est, _ in stream])
+    stalls = {index: stall for index, (_, _, stall) in enumerate(stream)}
+    first = drive_stalled(ClusterQueue(N_NODES, policy), jobs, stalls)
+    second = drive_stalled(ClusterQueue(N_NODES, policy), jobs, stalls)
+    assert first == second
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    stream=stream_strategy,
+    stalled_id=st.integers(min_value=0, max_value=23),
+    stall=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+)
+def test_head_starts_by_the_actual_shadow_under_one_stalled_job(
+    stream, stalled_id, stall
+):
+    """EASY's promise restated against real releases: with one job
+    stalled in a brownout (everyone else exact), a blocked head starts
+    no later than the shadow bound computed from the *actual* end times
+    of the jobs it was last blocked behind — backfill never adds delay
+    beyond what the stall itself costs."""
+    jobs = make_jobs(stream)
+    stalls = {index: 1.0 for index in range(len(jobs))}
+    stalls[stalled_id % len(jobs)] = stall
+    bounds = {}
+    queue = ClusterQueue(N_NODES, "backfill")
+    starts, _ = drive_stalled(queue, jobs, stalls, bounds=bounds)
+    for job_id, bound in bounds.items():
+        assert starts[job_id] <= bound + 1e-6, (job_id, bound)
+
+
+def test_backfill_keeps_flowing_past_a_brownout_stalled_job():
+    """A wide head blocked behind a stalled job must not dam the queue:
+    small jobs keep backfilling onto the spare nodes and finish while
+    the stalled job overruns its estimate."""
+    queue = ClusterQueue(N_NODES, "backfill")
+    jobs = [
+        QueuedJob(job_id=0, n_nodes=6, est_runtime_s=10.0),  # stalls to 40s
+        QueuedJob(job_id=1, n_nodes=8, est_runtime_s=5.0),  # blocked head
+        QueuedJob(job_id=2, n_nodes=2, est_runtime_s=2.0),  # backfill
+        QueuedJob(job_id=3, n_nodes=2, est_runtime_s=2.0),  # backfill
+    ]
+    stalls = {0: 4.0, 1: 1.0, 2: 1.0, 3: 1.0}
+    starts, ends = drive_stalled(queue, jobs, stalls)
+    # The backfilled jobs ran to completion on the spare nodes while
+    # job 0 overran; the head started only after the stall cleared.
+    assert ends[2] < ends[0] and ends[3] < ends[0]
+    assert starts[1] >= 40.0
+
+
 def test_submit_rejects_oversized_and_duplicate_jobs():
     queue = ClusterQueue(4)
     with pytest.raises(ConfigError, match="4"):
