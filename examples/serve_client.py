@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Talking to the simulation service: submit a spec, stream progress.
+
+Boots a throwaway ``pynamic-repro serve`` instance on an ephemeral
+port (the same `running_server` helper the service tests use), then
+walks the whole client surface with the stdlib `ServiceClient`:
+
+1. submit the `tiny` preset cold — the server farms it to a pool
+   worker and streams progress events while it simulates;
+2. submit the *same* spec again — the warehouse answers instantly
+   with ``cached: true`` and the bit-identical result;
+3. read the result directly by spec hash, list the presets, and dump
+   the service metrics.
+
+Against a real deployment you would skip the `running_server` block,
+start the server yourself (``pynamic-repro serve --port 8472``), and
+point `ServiceClient` at it.
+
+Run:  PYTHONPATH=src python examples/serve_client.py
+"""
+
+import json
+import tempfile
+
+from repro.scenario import scenario_preset
+from repro.service import ServiceClient, ServiceConfig, running_server
+
+
+def main() -> None:
+    spec = scenario_preset("tiny")
+
+    with tempfile.TemporaryDirectory() as cache_dir, running_server(
+        ServiceConfig(port=0, workers=2, cache_dir=cache_dir)
+    ) as server:
+        host, port = server.address
+        client = ServiceClient(host, port)
+        print(f"service up on http://{host}:{port}")
+        print(f"presets: {', '.join(client.presets()['scenarios'])}")
+
+        # 1. Cold submission: accepted with 202, simulated by a pool
+        # worker; the events endpoint streams progress as SSE lines.
+        submitted = client.submit(spec)
+        print(f"\nsubmitted {submitted['spec_hash'][:16]} "
+              f"(job {submitted['job_id']}, cached={submitted['cached']})")
+        for event in client.events(submitted["job_id"]):
+            fields = {k: v for k, v in event.items()
+                      if k not in ("job_id", "seq", "t")}
+            print(f"  event: {fields}")
+
+        final = client.job(submitted["job_id"])
+        total_s = final["result"]["columns"]["total_s"]
+        print(f"cold run done: total_s={total_s:.4f}")
+
+        # 2. The identical spec again: a warehouse hit, no simulation.
+        second = client.submit(spec)
+        assert second["cached"] and second["result"] == final["result"]
+        print(f"resubmitted: cached={second['cached']}, bit-identical result")
+
+        # 3. Direct read by hash, then the service's own accounting.
+        direct = client.result(spec.spec_hash)
+        assert direct["result"] == final["result"]
+        print(f"GET /v1/results/{spec.spec_hash[:16]}…: same document")
+        print("\nmetrics:")
+        print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

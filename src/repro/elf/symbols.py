@@ -55,6 +55,15 @@ def elf_hash(name: str) -> int:
     return h & 0xFFFFFFFF
 
 
+def strcmp_cost_chars(a: str, b: str) -> int:
+    """Characters strcmp examines: the common prefix plus the mismatch."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i + 1
+
+
 class SymbolKind(enum.Enum):
     """STT_FUNC vs STT_OBJECT, the two kinds the generator emits."""
 
@@ -115,6 +124,34 @@ class StringTable:
         return self._size
 
 
+@dataclass(frozen=True)
+class ProbePlan:
+    """The precomputed replay of one table's hash probe for one name.
+
+    Every lookup of ``name`` against a given (immutable-since-build)
+    table touches the same sequence of structures: the Bloom word (GNU
+    only), the bucket slot, then per chain entry an ``Elf64_Sym`` read,
+    a bounded strcmp and the ``.dynstr`` bytes it examined.  The plan
+    stores that sequence as *section-relative offsets* — per-process
+    load bases are added back at replay time — so one plan serves every
+    process mapping the DLL, and replaying it charges the exact same
+    ``work``/``dread`` calls (same order, sizes and per-call rounding)
+    as the walk it memoizes.
+    """
+
+    #: Byte offset of the bucket slot within the hash section.
+    bucket_offset: int
+    #: Per chain entry: (dynsym entry offset, strcmp chars, dynstr offset).
+    steps: tuple[tuple[int, int, int], ...]
+    #: The matching symbol, or None when the chain lacks the name.
+    symbol: "Symbol | None"
+    #: GNU only: byte offset of the Bloom word the lookup reads.
+    bloom_offset: int
+    #: GNU only: False means the Bloom word rejected the name and the
+    #: bucket chain is never walked (``steps`` is empty).
+    bloom_pass: bool
+
+
 class SymbolTable:
     """A dynamic symbol table with its SysV hash index.
 
@@ -138,6 +175,7 @@ class SymbolTable:
         self._nbuckets = 1
         self._bloom_bits: set[tuple[int, int]] = set()
         self._bloom_words = 1
+        self._probe_plans: dict[str, ProbePlan] = {}
 
     def _hash(self, name: str) -> int:
         if self.hash_style is HashStyle.GNU:
@@ -189,6 +227,7 @@ class SymbolTable:
         self._by_name[symbol.name] = index
         self.strings.add(symbol.name)
         self._buckets = None  # invalidate the hash index
+        self._probe_plans.clear()  # plans bake chain order and offsets
         return index
 
     def __len__(self) -> int:
@@ -249,6 +288,52 @@ class SymbolTable:
             self._build_index()
         assert self._buckets is not None
         return self._buckets.get(bucket, [])
+
+    def probe_plan(self, name: str) -> ProbePlan:
+        """The memoized probe replay for ``name`` against this table.
+
+        Built once per (table, name) by walking the hash structures the
+        slow way; every subsequent lookup — and in a Pynamic job the
+        same import/visit names are probed against the same DLL scope
+        once *per rank* — replays the cached offset sequence instead.
+        :meth:`add` invalidates all plans along with the hash index.
+        """
+        plan = self._probe_plans.get(name)
+        if plan is not None:
+            return plan
+        bloom_offset = 0
+        bloom_pass = True
+        if self.hash_style is HashStyle.GNU:
+            bloom_offset = self.bloom_word_offset(name)
+            bloom_pass = self.bloom_maybe_contains(name)
+        bucket_offset = 0
+        steps: list[tuple[int, int, int]] = []
+        symbol: Symbol | None = None
+        if bloom_pass:
+            bucket = self._hash(name) % self.nbuckets
+            bucket_offset = self.bucket_slot_offset(bucket)
+            for index in self.chain(bucket):
+                candidate = self._symbols[index - 1]
+                chars = strcmp_cost_chars(name, candidate.name)
+                steps.append(
+                    (
+                        SYMBOL_ENTRY_BYTES * index,
+                        chars,
+                        self.strings.offset_of(candidate.name),
+                    )
+                )
+                if candidate.name == name:
+                    symbol = candidate
+                    break
+        plan = ProbePlan(
+            bucket_offset=bucket_offset,
+            steps=tuple(steps),
+            symbol=symbol,
+            bloom_offset=bloom_offset,
+            bloom_pass=bloom_pass,
+        )
+        self._probe_plans[name] = plan
+        return plan
 
     # -- byte sizes ---------------------------------------------------------
     @property

@@ -171,8 +171,13 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _load_spec(source: str):
-    """Resolve ``--spec``: a JSON file path or a preset name."""
-    from repro.scenario import ScenarioSpec, scenario_preset
+    """Resolve ``--spec``: a JSON file path or a preset name.
+
+    File documents go through :func:`parse_spec_document` — the same
+    validate-and-hash entry the simulation service routes submissions
+    through, so the CLI and server can never disagree on a document.
+    """
+    from repro.scenario import parse_spec_document, scenario_preset
 
     looks_like_path = (
         source.endswith(".json")
@@ -188,7 +193,7 @@ def _load_spec(source: str):
         raise ConfigError(f"--spec {source}: {exc}") from None
     except json.JSONDecodeError as exc:
         raise ConfigError(f"--spec {source}: not valid JSON ({exc})") from None
-    return ScenarioSpec.from_dict(data)
+    return parse_spec_document(data)
 
 
 def _apply_overrides(spec, assignments: list[str]):
@@ -492,8 +497,12 @@ def _run_spec_dir(args: argparse.Namespace) -> int:
 
 
 def _load_workload_spec(source: str):
-    """Resolve a workload source: a JSON file path or a preset name."""
-    from repro.workload import WorkloadSpec, workload_preset
+    """Resolve a workload source: a JSON file path or a preset name.
+
+    File documents go through :func:`parse_workload_document`, the
+    shared validate-and-hash entry (see :func:`_load_spec`).
+    """
+    from repro.workload import parse_workload_document, workload_preset
 
     looks_like_path = (
         source.endswith(".json")
@@ -509,16 +518,15 @@ def _load_workload_spec(source: str):
         raise ConfigError(f"{source}: {exc}") from None
     except json.JSONDecodeError as exc:
         raise ConfigError(f"{source}: not valid JSON ({exc})") from None
-    return WorkloadSpec.from_dict(data)
+    return parse_workload_document(data)
 
 
 def _run_workload_command(args: argparse.Namespace) -> int:
     """The ``workload run/show/validate/schema/presets`` subcommands."""
     from repro.workload import (
         WORKLOAD_JSON_SCHEMA,
-        WorkloadSpec,
+        parse_workload_document,
         run_workload,
-        validate_workload_dict,
         workload_preset_names,
     )
 
@@ -537,12 +545,19 @@ def _run_workload_command(args: argparse.Namespace) -> int:
             print(f"{args.source}: {exc}", file=sys.stderr)
             return 1
         try:
-            validate_workload_dict(data)
-            spec = WorkloadSpec.from_dict(data)
+            spec = parse_workload_document(data)
         except ConfigError as exc:
             print(f"{args.source}: {exc}", file=sys.stderr)
             return 1
         print(f"{args.source}: valid (workload_hash {spec.workload_hash})")
+        return 0
+    if args.workload_command == "hash":
+        try:
+            spec = _load_workload_spec(args.source)
+        except ConfigError as exc:
+            print(f"{args.source}: {exc}", file=sys.stderr)
+            return 1
+        print(spec.workload_hash)
         return 0
     try:
         spec = _load_workload_spec(args.source)
@@ -868,11 +883,49 @@ def build_parser() -> argparse.ArgumentParser:
     workload_validate.add_argument(
         "source", help="path to a workload JSON file"
     )
+    workload_hash_parser = workload_sub.add_parser(
+        "hash",
+        help=(
+            "print the canonical workload hash (the warehouse / service "
+            "result key) without simulating"
+        ),
+    )
+    workload_hash_parser.add_argument(
+        "source", help="workload preset name or path to a workload JSON file"
+    )
     workload_sub.add_parser(
         "schema", help="print the published workload JSON schema"
     )
     workload_sub.add_parser(
         "presets", help="list registered workload presets"
+    )
+    serve_parser = sub.add_parser(
+        "serve",
+        help=(
+            "run the always-on simulation service: an HTTP frontend "
+            "that answers warm spec hashes from the warehouse and "
+            "farms cold specs to a worker pool"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8472,
+        help="TCP port (0 binds an ephemeral port, printed at startup)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="simulation worker processes",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="results warehouse backing warm answers and commits",
     )
     spec_parser = sub.add_parser(
         "spec", help="show, validate or describe ScenarioSpec documents"
@@ -901,6 +954,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate a spec JSON file against the published schema",
     )
     validate_parser.add_argument("source", help="path to a spec JSON file")
+    spec_hash_parser = spec_sub.add_parser(
+        "hash",
+        help=(
+            "print the canonical spec hash (the warehouse / service "
+            "result key) without simulating"
+        ),
+    )
+    spec_hash_parser.add_argument(
+        "source", help="preset name or path to a spec JSON file"
+    )
     spec_sub.add_parser("schema", help="print the published JSON schema")
     spec_sub.add_parser("presets", help="list registered scenario presets")
     generate_parser = sub.add_parser(
@@ -964,6 +1027,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "workload":
         return _run_workload_command(args)
+    if args.command == "serve":
+        from repro.service import ServiceConfig, serve
+
+        return serve(
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+            )
+        )
     if args.command == "results":
         return _run_results(args)
     if args.command == "job":
@@ -1054,9 +1128,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "spec":
         from repro.scenario import (
             SCENARIO_JSON_SCHEMA,
-            ScenarioSpec,
+            parse_spec_document,
             scenario_preset_names,
-            validate_spec_dict,
         )
 
         if args.spec_command == "show":
@@ -1080,12 +1153,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{args.source}: {exc}", file=sys.stderr)
                 return 1
             try:
-                validate_spec_dict(data)
-                spec = ScenarioSpec.from_dict(data)
+                spec = parse_spec_document(data)
             except ConfigError as exc:
                 print(f"{args.source}: {exc}", file=sys.stderr)
                 return 1
             print(f"{args.source}: valid (spec_hash {spec.spec_hash})")
+            return 0
+        if args.spec_command == "hash":
+            try:
+                spec = _load_spec(args.source)
+            except ConfigError as exc:
+                print(f"{exc}", file=sys.stderr)
+                return 1
+            print(spec.spec_hash)
             return 0
         if args.spec_command == "schema":
             print(json.dumps(SCENARIO_JSON_SCHEMA, indent=2, sort_keys=True))

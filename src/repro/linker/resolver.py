@@ -6,6 +6,17 @@ compares candidate names.  Every step is charged as real memory traffic
 (bucket slot, Elf64_Sym entries, .dynstr bytes), which is precisely the
 "memory intensive binding operations" the paper blames for the visit-time
 L1-D miss explosion of lazily-bound pre-linked builds (Table II).
+
+The *charged* traffic is identical on every lookup of a name against an
+unchanged table, so the per-object probe is driven by a memoized
+:class:`~repro.elf.symbols.ProbePlan`: the chain walk, strcmp prefix
+lengths and string-table offsets are computed once per (table, name)
+and replayed for every rank that binds the same symbol — the
+symbol-probe hot path ROADMAP flags on 16k-rank jobs.  Replay preserves
+the exact ``work``/``dread`` call sequence (per-call cycle rounding and
+cache state depend on it), pinned bit-identical against
+:meth:`SymbolResolver._probe_reference`, the original walk kept as the
+reference implementation.
 """
 
 from __future__ import annotations
@@ -19,8 +30,7 @@ from repro.elf.symbols import (
     SYMBOL_ENTRY_BYTES,
     HashStyle,
     Symbol,
-    elf_hash,
-    gnu_hash,
+    strcmp_cost_chars,
 )
 from repro.errors import UndefinedSymbolError
 from repro.machine.context import ExecutionContext
@@ -28,14 +38,8 @@ from repro.machine.context import ExecutionContext
 #: Bytes of a hash bucket slot read per probe.
 _BUCKET_READ_BYTES = 4
 
-
-def _strcmp_cost_chars(a: str, b: str) -> int:
-    """Characters strcmp examines: the common prefix plus the mismatch."""
-    limit = min(len(a), len(b))
-    i = 0
-    while i < limit and a[i] == b[i]:
-        i += 1
-    return i + 1
+# Kept under the historical name for callers and tests.
+_strcmp_cost_chars = strcmp_cost_chars
 
 
 @dataclass(frozen=True)
@@ -74,12 +78,10 @@ class SymbolResolver:
             costs.lookup_base_instructions
             + costs.hash_instructions_per_char * len(name)
         )
-        hashes = {HashStyle.SYSV: elf_hash(name), HashStyle.GNU: gnu_hash(name)}
         probed = 0
         for obj in scope:
             probed += 1
-            style = obj.shared_object.symbol_table.hash_style
-            symbol = self._probe(ctx, obj, name, hashes[style])
+            symbol = self._probe(ctx, obj, name)
             if symbol is not None:
                 self.total_probes += probed
                 return ResolutionResult(
@@ -96,15 +98,55 @@ class SymbolResolver:
         ctx: ExecutionContext,
         obj: LoadedObject,
         name: str,
-        name_hash: int,
     ) -> Symbol | None:
-        """Probe one object's hash table; None if it lacks the symbol."""
+        """Probe one object's hash table; None if it lacks the symbol.
+
+        Replays the table's memoized :class:`ProbePlan`: the plan holds
+        section-relative offsets, the object's per-process load bases
+        are added here, and the ``work``/``dread`` sequence charged is
+        exactly the one :meth:`_probe_reference` would issue.
+        """
         costs = ctx.costs
         table = obj.shared_object.symbol_table
+        plan = table.probe_plan(name)
+        hash_base = obj.base(SectionKind.HASH)
         if table.hash_style is HashStyle.GNU:
             # DT_GNU_HASH fast path: one Bloom-word read rejects objects
             # that cannot define the symbol — the post-2007 fix for
             # exactly the scope-walk cost Pynamic exposes.
+            ctx.work(costs.bloom_check_instructions)
+            ctx.dread(hash_base + plan.bloom_offset, 8)
+            if not plan.bloom_pass:
+                return None
+        ctx.work(costs.probe_instructions)
+        ctx.dread(hash_base + plan.bucket_offset, _BUCKET_READ_BYTES)
+        dynsym_base = obj.base(SectionKind.DYNSYM)
+        dynstr_base = obj.base(SectionKind.DYNSTR)
+        strcmp_per_char = costs.strcmp_instructions_per_char
+        work = ctx.work
+        dread = ctx.dread
+        for entry_offset, chars, name_offset in plan.steps:
+            dread(dynsym_base + entry_offset, SYMBOL_ENTRY_BYTES)
+            # glibc strcmp's every chain entry against the wanted name.
+            work(strcmp_per_char * chars)
+            dread(dynstr_base + name_offset, chars)
+        return plan.symbol
+
+    def _probe_reference(
+        self,
+        ctx: ExecutionContext,
+        obj: LoadedObject,
+        name: str,
+    ) -> Symbol | None:
+        """The original un-memoized probe, kept as the reference.
+
+        Tests pin :meth:`_probe` bit-identical against this walk, and
+        the ``symbol_probe`` microbenchmark measures the plan cache
+        against the per-lookup structure walk it replaced.
+        """
+        costs = ctx.costs
+        table = obj.shared_object.symbol_table
+        if table.hash_style is HashStyle.GNU:
             ctx.work(costs.bloom_check_instructions)
             ctx.dread(
                 obj.base(SectionKind.HASH) + table.bloom_word_offset(name), 8
@@ -112,13 +154,12 @@ class SymbolResolver:
             if not table.bloom_maybe_contains(name):
                 return None
         ctx.work(costs.probe_instructions)
-        bucket = name_hash % table.nbuckets
+        bucket = table.bucket_of(name)
         ctx.dread(obj.hash_slot_addr(bucket), _BUCKET_READ_BYTES)
         for index in table.chain(bucket):
             candidate = table.at(index)
             ctx.dread(obj.symbol_entry_addr(index), SYMBOL_ENTRY_BYTES)
-            # glibc strcmp's every chain entry against the wanted name.
-            chars = _strcmp_cost_chars(name, candidate.name)
+            chars = strcmp_cost_chars(name, candidate.name)
             ctx.work(costs.strcmp_instructions_per_char * chars)
             ctx.dread(obj.symbol_name_addr(candidate.name), chars)
             if candidate.name == name:

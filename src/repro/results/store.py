@@ -107,10 +107,18 @@ class ResultsWarehouse:
     processes never shares a SQLite handle across the fork boundary.
     """
 
-    def __init__(self, path: "str | os.PathLike[str]") -> None:
+    def __init__(
+        self, path: "str | os.PathLike[str]", readonly: bool = False
+    ) -> None:
         self.path = resolve_warehouse_path(path)
+        #: Read-only stores open the DB with a ``mode=ro`` URI: they
+        #: never create files, never take write locks, and (under WAL)
+        #: never queue behind a busy writer pool — the contract the
+        #: service's query endpoints rely on.  A missing DB file is an
+        #: empty store, not an error.
+        self.readonly = readonly
         parent = os.path.dirname(self.path)
-        if parent:
+        if parent and not readonly:
             os.makedirs(parent, exist_ok=True)
         self._conn: sqlite3.Connection | None = None
         self._pid = -1
@@ -125,13 +133,16 @@ class ResultsWarehouse:
 
     @classmethod
     def for_cache_dir(
-        cls, cache_dir: "str | os.PathLike[str]"
+        cls,
+        cache_dir: "str | os.PathLike[str]",
+        readonly: bool = False,
     ) -> "ResultsWarehouse":
         """Open the warehouse for a sweep ``cache_dir``, absorbing any
-        legacy pickle entries the directory still holds."""
-        store = cls(cache_dir)
+        legacy pickle entries the directory still holds (read-write
+        opens only — a read-only store never migrates or writes)."""
+        store = cls(cache_dir, readonly=readonly)
         directory = os.path.dirname(store.path)
-        if directory and os.path.isdir(directory):
+        if not readonly and directory and os.path.isdir(directory):
             from repro.results.migrate import migrate_pickle_dir
 
             migrate_pickle_dir(store, directory)
@@ -143,6 +154,9 @@ class ResultsWarehouse:
             return self._conn
         self._conn = None
         self._pid = os.getpid()
+        if self.readonly:
+            self._conn = self._open()
+            return self._conn
         try:
             self._conn = self._open()
         except sqlite3.DatabaseError:
@@ -152,7 +166,31 @@ class ResultsWarehouse:
             self._conn = self._open()
         return self._conn
 
+    def _connect_opt(self) -> "sqlite3.Connection | None":
+        """The connection, or None for a read-only store whose DB file
+        does not exist yet (an empty store, not an error)."""
+        if self.readonly and not os.path.exists(self.path):
+            return None
+        return self._connect()
+
     def _open(self) -> sqlite3.Connection:
+        if self.readonly:
+            from urllib.parse import quote
+
+            uri = f"file:{quote(os.path.abspath(self.path))}?mode=ro"
+            conn = sqlite3.connect(uri, uri=True, timeout=30.0)
+            conn.row_factory = sqlite3.Row
+            conn.isolation_level = None
+            try:
+                # No write pragmas: journal_mode/synchronous belong to
+                # the writer; query_only hard-fails any stray write.
+                conn.execute("PRAGMA query_only=ON")
+                conn.execute("PRAGMA busy_timeout=30000")
+                self._check_schema_readonly(conn)
+            except sqlite3.DatabaseError:
+                conn.close()
+                raise
+            return conn
         conn = sqlite3.connect(self.path, timeout=30.0)
         conn.row_factory = sqlite3.Row
         # Autocommit mode: transactions are explicit BEGIN IMMEDIATE
@@ -166,6 +204,25 @@ class ResultsWarehouse:
             conn.close()
             raise
         return conn
+
+    def _check_schema_readonly(self, conn: sqlite3.Connection) -> None:
+        """Read-only opens verify the version instead of migrating."""
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError as exc:
+            raise ConfigError(
+                f"results warehouse {self.path} has no schema "
+                f"({exc}); open it read-write once to initialize"
+            ) from exc
+        version = int(row["value"]) if row is not None else None
+        if version != SCHEMA_VERSION:
+            raise ConfigError(
+                f"results warehouse {self.path} is schema version "
+                f"{version}, expected {SCHEMA_VERSION}; open it "
+                f"read-write once to migrate"
+            )
 
     def _ensure_schema(self, conn: sqlite3.Connection) -> None:
         from repro.results.migrate import ensure_schema
@@ -214,7 +271,9 @@ class ResultsWarehouse:
         recomputes, but the poisoning is visible.
         """
         digest = cache_key(func_name, key)
-        conn = self._connect()
+        conn = self._connect_opt()
+        if conn is None:
+            return None
         try:
             row = conn.execute(
                 "SELECT payload, func FROM results WHERE cache_key = ?",
@@ -223,12 +282,55 @@ class ResultsWarehouse:
         except sqlite3.DatabaseError as exc:
             conn.close()
             self._conn = None
+            if self.readonly:
+                raise
             self._quarantine(str(exc))
             return None
         if row is None:
             return None
+        result = self._unpickle(conn, digest, row["payload"], func_name, key)
+        if result is None:
+            return None
+        if row["func"] is None and not self.readonly:
+            # A row absorbed from the legacy pickle cache carries no
+            # (func, key) metadata — backfill it now that we know it.
+            self._backfill(conn, digest, func_name, key)
+        return result
+
+    def load_by_result_key(self, result_key: str) -> "dict | None":
+        """The newest row whose ``result_key`` (spec hash) matches.
+
+        Returns ``{"row": <row dict>, "result": <unpickled payload>}``
+        or None — the direct-read surface behind the service's
+        ``GET /v1/results/{spec_hash}`` endpoint.
+        """
+        conn = self._connect_opt()
+        if conn is None:
+            return None
+        row = conn.execute(
+            "SELECT * FROM results WHERE result_key = ?"
+            " ORDER BY updated_at DESC, cache_key LIMIT 1",
+            (result_key,),
+        ).fetchone()
+        if row is None:
+            return None
+        result = self._unpickle(
+            conn, row["cache_key"], row["payload"], row["func"], result_key
+        )
+        if result is None:
+            return None
+        return {"row": row_as_dict(row), "result": result}
+
+    def _unpickle(
+        self,
+        conn: sqlite3.Connection,
+        digest: str,
+        payload: bytes,
+        func_name: "str | None",
+        key: str,
+    ) -> "object | None":
         try:
-            result = pickle.loads(row["payload"])
+            return pickle.loads(payload)
         except Exception as exc:
             self.corrupt += 1
             warnings.warn(
@@ -237,13 +339,9 @@ class ResultsWarehouse:
                 f"recomputing",
                 stacklevel=3,
             )
-            self._delete(conn, digest)
+            if not self.readonly:
+                self._delete(conn, digest)
             return None
-        if row["func"] is None:
-            # A row absorbed from the legacy pickle cache carries no
-            # (func, key) metadata — backfill it now that we know it.
-            self._backfill(conn, digest, func_name, key)
-        return result
 
     def store(
         self,
@@ -261,6 +359,10 @@ class ResultsWarehouse:
         files (the discipline the pickle layer's ``.tmp.<pid>`` writer
         lacked).
         """
+        if self.readonly:
+            raise ConfigError(
+                f"results warehouse {self.path} is open read-only"
+            )
         digest = cache_key(func_name, key)
         payload = pickle.dumps(result)
         columns = extract_columns(result)
@@ -396,12 +498,16 @@ class ResultsWarehouse:
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY n_nodes, distribution, cache_key"
-        return [row_as_dict(row) for row in self._connect().execute(sql, params)]
+        conn = self._connect_opt()
+        if conn is None:
+            return []
+        return [row_as_dict(row) for row in conn.execute(sql, params)]
 
     def __len__(self) -> int:
-        return self._connect().execute(
-            "SELECT COUNT(*) FROM results"
-        ).fetchone()[0]
+        conn = self._connect_opt()
+        if conn is None:
+            return 0
+        return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
     @property
     def schema_version(self) -> int:

@@ -23,7 +23,11 @@ from repro.scenario.presets import (
     scenario_preset_names,
 )
 from repro.scenario.run import simulate
-from repro.scenario.schema import SCENARIO_JSON_SCHEMA, validate_spec_dict
+from repro.scenario.schema import (
+    SCENARIO_JSON_SCHEMA,
+    parse_spec_document,
+    validate_spec_dict,
+)
 from repro.scenario.spec import ENGINES, OS_PROFILES, SPEC_VERSION, ScenarioSpec
 
 __all__ = [
@@ -41,6 +45,7 @@ __all__ = [
     "register_scenario",
     "scenario_preset",
     "scenario_preset_names",
+    "parse_spec_document",
     "simulate",
     "validate_spec_dict",
 ]

@@ -277,3 +277,19 @@ def validate_spec_dict(data: object) -> None:
             f"spec: expected a JSON object, got {type(data).__name__}"
         )
     _validate(data, SCENARIO_JSON_SCHEMA, "spec")
+
+
+def parse_spec_document(data: object) -> "ScenarioSpec":
+    """Validate-and-build: one entry for every spec-accepting frontend.
+
+    Schema-validates ``data`` (field-naming :class:`ConfigError` on the
+    first violation), then builds the frozen
+    :class:`~repro.scenario.spec.ScenarioSpec` — whose ``spec_hash`` is
+    the canonical identity the CLI (``spec hash``/``spec validate``)
+    and the simulation service key on.  Guarantees both frontends can
+    never diverge on what a document hashes to.
+    """
+    validate_spec_dict(data)
+    from repro.scenario.spec import ScenarioSpec
+
+    return ScenarioSpec.from_dict(data)

@@ -1,0 +1,38 @@
+"""The always-on simulation service: ``pynamic-repro serve``.
+
+A long-running asyncio HTTP frontend over the results warehouse: spec
+JSON arrives on ``POST /v1/jobs``, warm spec hashes are answered
+straight from the warehouse (opened read-only, so a busy writer pool
+never blocks a query), and cold specs are farmed to a
+``ProcessPoolExecutor`` worker pool through a dedup-by-spec-hash job
+registry with SSE-style streaming progress on
+``GET /v1/jobs/{id}/events``.
+
+- :class:`~repro.service.server.SimulationServer` /
+  :func:`~repro.service.server.serve` — the server and its blocking
+  CLI entry;
+- :class:`~repro.service.jobs.JobRegistry` — job lifecycle, dedup and
+  the metrics counters behind ``GET /v1/metrics``;
+- :class:`~repro.service.client.ServiceClient` — the stdlib
+  ``http.client`` helper used by tests and ``examples/serve_client.py``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobRegistry
+from repro.service.server import (
+    ServiceConfig,
+    SimulationServer,
+    running_server,
+    serve,
+)
+
+__all__ = [
+    "Job",
+    "JobRegistry",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimulationServer",
+    "running_server",
+    "serve",
+]

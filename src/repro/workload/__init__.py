@@ -35,6 +35,7 @@ from repro.workload.spec import (
     WORKLOAD_VERSION,
     TenantSpec,
     WorkloadSpec,
+    parse_workload_document,
     validate_workload_dict,
 )
 
@@ -55,6 +56,7 @@ __all__ = [
     "WorkloadSpec",
     "arrival_times",
     "cold_start_values",
+    "parse_workload_document",
     "register_workload",
     "run_workload",
     "rush_hour_job",

@@ -397,3 +397,16 @@ def validate_workload_dict(data: object) -> None:
             f"workload: expected a JSON object, got {type(data).__name__}"
         )
     validate_document(data, WORKLOAD_JSON_SCHEMA, "workload")
+
+
+def parse_workload_document(data: object) -> "WorkloadSpec":
+    """Validate-and-build: the workload twin of
+    :func:`repro.scenario.schema.parse_spec_document`.
+
+    Schema-validates ``data``, then builds the frozen
+    :class:`WorkloadSpec` whose ``workload_hash`` keys the warehouse —
+    the shared entry the CLI and the simulation service both route
+    workload documents through.
+    """
+    validate_workload_dict(data)
+    return WorkloadSpec.from_dict(data)

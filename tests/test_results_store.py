@@ -400,3 +400,86 @@ class TestResultsCli:
         assert len(rows) == 1 and rows[0]["kind"] == "JobReport"
         # second run replays from the warehouse (same spec hash)
         assert main(args) == 0
+
+
+class TestReadonlyMode:
+    """The service's query-path contract: ``mode=ro`` handles never
+    create files, never write, and never queue behind a busy writer."""
+
+    def _populated(self, tmp_path, tiny_spec, tiny_report):
+        with ResultsWarehouse(tmp_path) as store:
+            store.store(
+                "_eval_scenario_point",
+                tiny_spec.spec_hash,
+                tiny_report,
+                spec_json=tiny_spec.canonical_json(),
+            )
+        return tmp_path
+
+    def test_reads_what_the_writer_stored(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        self._populated(tmp_path, tiny_spec, tiny_report)
+        with ResultsWarehouse(tmp_path, readonly=True) as ro:
+            assert (
+                ro.load("_eval_scenario_point", tiny_spec.spec_hash)
+                == tiny_report
+            )
+            entry = ro.load_by_result_key(tiny_spec.spec_hash)
+            assert entry is not None and entry["result"] == tiny_report
+            assert entry["row"]["kind"] == "JobReport"
+            assert len(ro) == 1
+
+    def test_store_refuses(self, tmp_path, tiny_spec, tiny_report):
+        self._populated(tmp_path, tiny_spec, tiny_report)
+        with ResultsWarehouse(tmp_path, readonly=True) as ro:
+            with pytest.raises(ConfigError, match="read-only"):
+                ro.store("_eval_scenario_point", "k", tiny_report)
+
+    def test_missing_warehouse_is_empty_not_created(self, tmp_path):
+        target = tmp_path / "never-written"
+        with ResultsWarehouse(target, readonly=True) as ro:
+            assert ro.load("_eval_scenario_point", "nope") is None
+            assert ro.load_by_result_key("nope") is None
+            assert ro.rows() == [] and len(ro) == 0
+        assert not target.exists()  # ro open must not create the dir/DB
+
+    def test_reader_not_blocked_by_a_held_write_lock(
+        self, tmp_path, tiny_spec, tiny_report
+    ):
+        """The regression this mode exists for: a writer holding the
+        warehouse's reserved lock (a busy worker pool mid-commit) must
+        not block ``GET /v1/results`` reads."""
+        self._populated(tmp_path, tiny_spec, tiny_report)
+        writer = sqlite3.connect(resolve_warehouse_path(tmp_path))
+        writer.isolation_level = None
+        writer.execute("BEGIN IMMEDIATE")  # hold the write lock
+        try:
+            import time
+
+            with ResultsWarehouse(tmp_path, readonly=True) as ro:
+                begin = time.perf_counter()
+                value = ro.load("_eval_scenario_point", tiny_spec.spec_hash)
+                elapsed = time.perf_counter() - begin
+            assert value == tiny_report
+            # WAL readers proceed immediately; anywhere near the 30 s
+            # busy timeout means the ro path regressed to blocking.
+            assert elapsed < 5.0
+        finally:
+            writer.execute("ROLLBACK")
+            writer.close()
+
+    def test_schema_mismatch_is_an_explicit_error(self, tmp_path):
+        path = resolve_warehouse_path(tmp_path)
+        with ResultsWarehouse(path) as store:
+            store.store("_eval_scenario_point", "k", {"v": 1})
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        ro = ResultsWarehouse(path, readonly=True)
+        with pytest.raises(ConfigError, match="schema version"):
+            ro.load("_eval_scenario_point", "k")

@@ -1,0 +1,271 @@
+"""End-to-end tests for the simulation service (``pynamic-repro serve``).
+
+Each test boots a real server on an ephemeral port (the same code path
+the CLI runs) and talks to it over real HTTP with the stdlib
+:class:`ServiceClient`.  The acceptance criteria pinned here:
+
+- a cold ``POST /v1/jobs`` runs in a pool worker and streams >= 1
+  progress event strictly before the terminal result;
+- an identical second POST — and a direct ``GET
+  /v1/results/{spec_hash}`` — returns the bit-identical report from
+  the warehouse with ``cached: true``, without re-simulating, and
+  ``/metrics`` reflects the hit (the tier-1 CI smoke);
+- concurrent duplicate submissions of one cold spec share one
+  simulation through the dedup registry;
+- invalid documents are rejected with field-naming ConfigError text;
+- graceful shutdown under load abandons only never-started jobs and
+  loses no committed results.
+"""
+
+import concurrent.futures
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import PynamicConfig
+from repro.harness.cli import build_parser, main
+from repro.results import ResultsWarehouse, resolve_warehouse_path
+from repro.scenario import scenario_preset
+from repro.scenario.spec import ScenarioSpec
+from repro.service import ServiceClient, ServiceConfig, ServiceError, running_server
+from repro.workload import TenantSpec, WorkloadSpec
+
+
+def _tiny_spec(seed: int = 987) -> ScenarioSpec:
+    return ScenarioSpec(
+        config=PynamicConfig(
+            n_modules=2, n_utilities=1, avg_functions=4, seed=seed
+        ),
+        n_tasks=2,
+    )
+
+
+@pytest.fixture()
+def service(tmp_path):
+    config = ServiceConfig(port=0, workers=2, cache_dir=str(tmp_path))
+    with running_server(config) as server:
+        host, port = server.address
+        yield server, ServiceClient(host, port)
+
+
+class TestEndToEnd:
+    def test_cold_then_cached_then_direct_read(self, service):
+        server, client = service
+        spec = _tiny_spec()
+
+        submitted = client.submit(spec)
+        assert submitted["cached"] is False
+        assert submitted["spec_hash"] == spec.spec_hash
+
+        events = list(client.events(submitted["job_id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "done"
+        # >= 1 progress event strictly before the terminal result
+        assert "phase" in kinds[:-1]
+        assert kinds.index("phase") < kinds.index("done")
+
+        final = client.job(submitted["job_id"])
+        assert final["status"] == "done"
+        result = final["result"]
+        assert result["spec_hash"] == spec.spec_hash
+        assert result["columns"]["total_s"] > 0
+
+        # Identical second POST: a warehouse hit, bit-identical result.
+        second = client.submit(spec)
+        assert second["cached"] is True
+        assert second["status"] == "done"
+        assert second["result"] == result
+        assert second["job_id"] != submitted["job_id"]
+
+        # Direct warehouse read returns the same document.
+        direct = client.result(spec.spec_hash)
+        assert direct["cached"] is True
+        assert direct["result"] == result
+
+        # /metrics reflects the hit (the CI smoke assertion).
+        metrics = client.metrics()
+        assert metrics["jobs_submitted"] == 1
+        assert metrics["jobs_cached"] == 1
+        assert metrics["jobs_completed"] == 1
+        assert metrics["warehouse_hits"] == 1
+        assert metrics["warehouse_rows"] == 1
+        assert metrics["warehouse_hit_rate"] == pytest.approx(0.5)
+
+    def test_concurrent_duplicates_share_one_simulation(self, service):
+        server, client = service
+        spec = _tiny_spec(seed=321)
+
+        def submit():
+            return client.submit(spec)
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            responses = [f.result() for f in [pool.submit(submit) for _ in range(4)]]
+
+        job_ids = {response["job_id"] for response in responses}
+        assert len(job_ids) == 1  # all four share the one registry job
+        assert sum(1 for r in responses if r.get("deduplicated")) == 3
+
+        final = client.wait(job_ids.pop())
+        assert final["status"] == "done"
+        metrics = client.metrics()
+        assert metrics["jobs_submitted"] == 1
+        assert metrics["jobs_deduplicated"] == 3
+        assert metrics["jobs_completed"] == 1
+
+    def test_workload_document_round_trips(self, service):
+        server, client = service
+        scenario = dataclasses.replace(_tiny_spec(seed=555), engine="multirank")
+        workload = WorkloadSpec(
+            n_nodes=2,
+            tenants=(
+                TenantSpec(name="t0", scenario=scenario, n_jobs=1),
+            ),
+        )
+        submitted = client.submit(workload)
+        final = client.wait(submitted["job_id"])
+        assert final["status"] == "done"
+        assert final["kind"] == "workload"
+        assert final["result"]["columns"]["total_max"] > 0
+
+
+class TestValidationAndErrors:
+    def test_bad_field_names_the_field(self, service):
+        server, client = service
+        document = _tiny_spec().to_dict()
+        document["n_tasks"] = -5
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(document)
+        assert excinfo.value.status == 400
+        assert "n_tasks" in str(excinfo.value)
+
+    def test_unknown_key_rejected(self, service):
+        server, client = service
+        document = _tiny_spec().to_dict()
+        document["definitely_not_a_field"] = 1
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(document)
+        assert excinfo.value.status == 400
+        assert "definitely_not_a_field" in str(excinfo.value)
+
+    def test_invalid_json_is_400(self, service):
+        server, client = service
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/jobs",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"] == "invalid-json"
+
+    def test_unknown_job_and_result_are_404(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("no-such-job")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.result("0" * 64)
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        server, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v2/everything")
+        assert excinfo.value.status == 404
+
+
+class TestOperability:
+    def test_healthz_and_presets(self, service):
+        server, client = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        presets = client.presets()
+        assert "tiny" in presets["scenarios"]
+        assert presets["workloads"]  # the registry is non-empty
+
+    def test_event_stream_replays_after_completion(self, service):
+        server, client = service
+        spec = _tiny_spec(seed=777)
+        submitted = client.submit(spec)
+        client.wait(submitted["job_id"])
+        # A late subscriber still sees the full history, terminal last.
+        replay = [e["event"] for e in client.events(submitted["job_id"])]
+        assert replay[0] == "queued"
+        assert replay[-1] == "done"
+        assert "phase" in replay
+
+
+class TestGracefulShutdown:
+    def test_drain_under_load_loses_no_committed_results(self, tmp_path):
+        """Submit more cold jobs than workers, stop mid-flight: every
+        job ends terminal, abandoned ones never started, and every
+        'done' job's row is in the warehouse."""
+        config = ServiceConfig(port=0, workers=1, cache_dir=str(tmp_path))
+        with running_server(config) as server:
+            host, port = server.address
+            client = ServiceClient(host, port)
+            submitted = [
+                client.submit(_tiny_spec(seed=1000 + i)) for i in range(4)
+            ]
+            # exit the context: graceful stop while most jobs queue
+        jobs = [server.registry.get(s["job_id"]) for s in submitted]
+        statuses = [job.status for job in jobs]
+        assert all(status in ("done", "abandoned") for status in statuses)
+        assert "done" in statuses  # the in-flight worker drained
+        warehouse_path = resolve_warehouse_path(str(tmp_path))
+        with ResultsWarehouse(warehouse_path, readonly=True) as warehouse:
+            for job in jobs:
+                stored = warehouse.load("_eval_scenario_point", job.spec_hash)
+                if job.status == "done":
+                    assert stored is not None
+        # metrics accounting matches the terminal states
+        counters = server.registry.counters
+        assert counters["jobs_completed"] == statuses.count("done")
+        assert counters["jobs_abandoned"] == statuses.count("abandoned")
+
+
+class TestCli:
+    def test_serve_parser_accepts_the_documented_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--workers", "3", "--cache-dir", "/tmp/w"]
+        )
+        assert args.command == "serve"
+        assert (args.host, args.port, args.workers) == ("0.0.0.0", 0, 3)
+        assert args.cache_dir == "/tmp/w"
+
+    def test_spec_hash_prints_the_canonical_hash(self, capsys, tmp_path):
+        spec = scenario_preset("tiny")
+        assert main(["spec", "hash", "tiny"]) == 0
+        assert capsys.readouterr().out.strip() == spec.spec_hash
+        # a JSON file hashes identically to its preset
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.canonical_json())
+        assert main(["spec", "hash", str(path)]) == 0
+        assert capsys.readouterr().out.strip() == spec.spec_hash
+
+    def test_spec_hash_rejects_bad_documents(self, capsys, tmp_path):
+        document = scenario_preset("tiny").to_dict()
+        document["n_tasks"] = "many"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(document))
+        assert main(["spec", "hash", str(path)]) == 1
+        assert "n_tasks" in capsys.readouterr().err
+
+    def test_workload_hash_prints_the_canonical_hash(self, capsys):
+        from repro.workload import workload_preset
+
+        expected = workload_preset("rush_hour").workload_hash
+        assert main(["workload", "hash", "rush_hour"]) == 0
+        assert capsys.readouterr().out.strip() == expected
